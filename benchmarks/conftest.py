@@ -1,0 +1,67 @@
+"""Shared benchmark infrastructure.
+
+Every paper table/figure bench pulls from one cached "fleet run": each of the
+five server workloads compiled and evaluated under every PGO variant, through
+the full production cycle (2-iteration continuous profiling).  Results are
+computed once per pytest session and also dumped under
+``benchmarks/results/`` for inspection.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import pytest
+
+from repro import PGODriverConfig, PGOVariant, run_pgo
+from repro.hw import PMUConfig
+from repro.workloads import SERVER_WORKLOADS, build_server_workload
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+ALL_VARIANTS = [PGOVariant.NONE, PGOVariant.AUTOFDO,
+                PGOVariant.CSSPGO_PROBE_ONLY, PGOVariant.CSSPGO_FULL,
+                PGOVariant.INSTR]
+
+
+def driver_config() -> PGODriverConfig:
+    return PGODriverConfig(pmu=PMUConfig(period=59))
+
+
+class FleetResults:
+    """Per-workload, per-variant PGO results."""
+
+    def __init__(self) -> None:
+        self.results: Dict[str, Dict[PGOVariant, object]] = {}
+        self.modules: Dict[str, object] = {}
+
+    def run(self, name: str, variants=None):
+        variants = variants or ALL_VARIANTS
+        if name not in self.results:
+            self.results[name] = {}
+            self.modules[name] = build_server_workload(name)
+        module = self.modules[name]
+        spec = SERVER_WORKLOADS[name]
+        config = driver_config()
+        for variant in variants:
+            if variant not in self.results[name]:
+                self.results[name][variant] = run_pgo(
+                    module, variant, [spec.requests], [spec.requests], config)
+        return self.results[name]
+
+
+_FLEET = FleetResults()
+
+
+@pytest.fixture(scope="session")
+def fleet() -> FleetResults:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return _FLEET
+
+
+def write_results(filename: str, lines) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, filename)
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")

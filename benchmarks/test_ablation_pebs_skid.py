@@ -1,0 +1,55 @@
+"""Sec. III.B ablation — LBR/stack synchronization (PEBS vs skid).
+
+Paper: without PEBS the stack sample "can sometimes lag behind LBR sample by
+one frame", desynchronizing context reconstruction; level-2 PEBS precision
+(``:upp``) eliminates the skid.
+"""
+
+import pytest
+
+from repro import PGOVariant, build
+from repro.correlate import aggregate_samples
+from repro.hw import PMUConfig, execute, make_pmu
+from repro.workloads import SERVER_WORKLOADS, build_server_workload
+
+from .conftest import write_results
+
+WORKLOAD = "adranker"
+
+
+def _broken_fraction(pebs: bool):
+    module = build_server_workload(WORKLOAD)
+    artifacts = build(module, PGOVariant.CSSPGO_FULL)
+    pmu = make_pmu(PMUConfig(period=59, pebs=pebs))
+    run = execute(artifacts.binary, [SERVER_WORKLOADS[WORKLOAD].requests],
+                  pmu=pmu)
+    data = pmu.finish(run.instructions_retired)
+    agg, _ = aggregate_samples(artifacts.binary, data)
+    return agg.broken_samples / max(1, agg.total_samples)
+
+
+@pytest.fixture(scope="module")
+def skid_rates():
+    return {"pebs": _broken_fraction(pebs=True),
+            "no_pebs": _broken_fraction(pebs=False)}
+
+
+class TestPebsSkid:
+    def test_pebs_reconstruction_is_clean(self, skid_rates, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        assert skid_rates["pebs"] < 0.02
+
+    def test_skid_breaks_contexts_without_pebs(self, skid_rates, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        assert skid_rates["no_pebs"] > 5 * max(skid_rates["pebs"], 1e-6)
+        assert skid_rates["no_pebs"] > 0.05
+
+    def test_report(self, skid_rates, benchmark):
+        lines = ["LBR/stack synchronization (adranker)", "",
+                 f"broken samples with PEBS:    {skid_rates['pebs']*100:6.2f}%",
+                 f"broken samples without PEBS: {skid_rates['no_pebs']*100:6.2f}%",
+                 "",
+                 "paper: PEBS eliminates the one-frame stack skid"]
+        write_results("ablation_pebs_skid.txt", lines)
+        print("\n" + "\n".join(lines))
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,64 @@
+"""Extension ablation — constant specialization after context inlining.
+
+Not a paper figure, but the paper's future-work direction ("explore a
+different overhead and performance balance"): once context-sensitive inlining
+has placed dispatcher callees under call sites with constant selectors,
+constant propagation + branch folding can delete the untaken sides.  This
+bench measures how much that cleanup adds on top of full CSSPGO, and that it
+disproportionately benefits the context-sensitive variant (flat profiles
+inline fewer specialized copies).
+"""
+
+import pytest
+
+from repro import PGODriverConfig, PGOVariant, run_pgo, speedup_over
+from repro.hw import PMUConfig
+from repro.opt import OptConfig
+from repro.workloads import SERVER_WORKLOADS, build_server_workload
+
+from .conftest import write_results
+
+WORKLOAD = "haas"
+
+
+@pytest.fixture(scope="module")
+def specialization():
+    module = build_server_workload(WORKLOAD)
+    requests = [SERVER_WORKLOADS[WORKLOAD].requests]
+    out = {}
+    for label, constprop in (("baseline", False), ("constprop", True)):
+        config = PGODriverConfig(pmu=PMUConfig(period=59),
+                                 opt=OptConfig(enable_constprop=constprop))
+        out[label] = {
+            variant: run_pgo(module, variant, requests, requests, config)
+            for variant in (PGOVariant.AUTOFDO, PGOVariant.CSSPGO_FULL)}
+    return out
+
+
+class TestSpecialization:
+    def test_constprop_does_not_break_ordering(self, specialization, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        rows = specialization["constprop"]
+        gain = speedup_over(rows[PGOVariant.AUTOFDO],
+                            rows[PGOVariant.CSSPGO_FULL]) * 100
+        assert gain > -1.0  # csspgo must stay competitive with folding on
+
+    def test_constprop_shrinks_csspgo_text(self, specialization, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        base = specialization["baseline"][PGOVariant.CSSPGO_FULL]
+        folded = specialization["constprop"][PGOVariant.CSSPGO_FULL]
+        assert folded.final.sizes.text <= base.final.sizes.text
+
+    def test_report(self, specialization, benchmark):
+        lines = ["Constant specialization ablation (haas)", ""]
+        for label, rows in specialization.items():
+            af = rows[PGOVariant.AUTOFDO]
+            cs = rows[PGOVariant.CSSPGO_FULL]
+            gain = speedup_over(af, cs) * 100
+            lines.append(f"{label:10s} csspgo-vs-autofdo {gain:+6.2f}%  "
+                         f"csspgo text {cs.final.sizes.text}")
+        lines += ["", "extension: branch folding after context inlining "
+                  "deletes untaken dispatcher sides"]
+        write_results("ablation_specialization.txt", lines)
+        print("\n" + "\n".join(lines))
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)

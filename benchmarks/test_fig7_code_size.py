@@ -1,0 +1,65 @@
+"""Fig. 7 — code size comparison with AutoFDO.
+
+Paper results: full CSSPGO produces noticeably smaller code than AutoFDO on
+4 of the 5 workloads (the pre-inliner's selectivity); probe-only CSSPGO is
+*bigger* than full CSSPGO (no pre-inliner to curb inlining); HaaS is the
+exception where sizes are within ~1%.
+"""
+
+import pytest
+
+from repro import PGOVariant
+from repro.hw import execute
+from repro.workloads import SERVER_WORKLOAD_NAMES, SERVER_WORKLOADS
+
+from .conftest import write_results
+
+
+@pytest.fixture(scope="module")
+def fig7(fleet):
+    return {name: fleet.run(name) for name in SERVER_WORKLOAD_NAMES}
+
+
+def _text_delta(rows, variant):
+    autofdo = rows[PGOVariant.AUTOFDO].final.sizes.text
+    return (rows[variant].final.sizes.text / autofdo - 1.0) * 100.0
+
+
+class TestFig7:
+    def test_full_csspgo_smaller_on_most_workloads(self, fig7, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        smaller = sum(1 for rows in fig7.values()
+                      if _text_delta(rows, PGOVariant.CSSPGO_FULL) < 1.0)
+        assert smaller >= 3, "full CSSPGO should shrink code on most workloads"
+
+    def test_preinliner_is_more_selective_than_flat_inlining(self, fig7, benchmark):
+        """Full CSSPGO < probe-only CSSPGO in code size on average (the
+        paper's explanation: selective inlining from context profiles)."""
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        deltas = [(_text_delta(rows, PGOVariant.CSSPGO_FULL)
+                   - _text_delta(rows, PGOVariant.CSSPGO_PROBE_ONLY))
+                  for rows in fig7.values()]
+        assert sum(deltas) / len(deltas) < 0.0
+
+    def test_size_changes_are_moderate(self, fig7, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        for name, rows in fig7.items():
+            delta = _text_delta(rows, PGOVariant.CSSPGO_FULL)
+            assert -40.0 < delta < 25.0, f"{name}: {delta:+.1f}%"
+
+    def test_report(self, fig7, benchmark):
+        lines = ["Fig. 7 — text size vs AutoFDO (negative = smaller)", ""]
+        lines.append(f"{'workload':14s} {'probe-only':>11s} {'csspgo':>9s}"
+                     "   (paper: csspgo smaller on 4/5, HaaS ~flat)")
+        for name, rows in fig7.items():
+            lines.append(
+                f"{name:14s} "
+                f"{_text_delta(rows, PGOVariant.CSSPGO_PROBE_ONLY):+10.1f}% "
+                f"{_text_delta(rows, PGOVariant.CSSPGO_FULL):+8.1f}%")
+        write_results("fig7_code_size.txt", lines)
+        print("\n" + "\n".join(lines))
+
+        rows = fig7["adranker"]
+        benchmark.pedantic(
+            lambda: rows[PGOVariant.CSSPGO_FULL].final.sizes.total,
+            rounds=1, iterations=1)

@@ -1,0 +1,53 @@
+"""Fig. 9 — size overhead of pseudo-probe metadata.
+
+Paper: the ``.pseudo_probe``-style metadata averages ~25% of the total binary
+size (text + ``-g2`` debug info + metadata), smaller than the debug info's
+own share, and is self-contained (strippable, never loaded at run time).
+"""
+
+import pytest
+
+from repro import PGOVariant, build
+from repro.workloads import SERVER_WORKLOAD_NAMES, build_server_workload
+
+from .conftest import write_results
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    rows = {}
+    for name in SERVER_WORKLOAD_NAMES:
+        module = build_server_workload(name)
+        sizes = build(module, PGOVariant.CSSPGO_FULL).sizes
+        rows[name] = (sizes.probe_metadata_share() * 100.0,
+                      sizes.dwarf_share() * 100.0)
+    return rows
+
+
+class TestFig9:
+    def test_metadata_share_in_paper_neighbourhood(self, fig9, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        shares = [probe for probe, _dwarf in fig9.values()]
+        mean = sum(shares) / len(shares)
+        assert 10.0 <= mean <= 40.0  # paper: ~25% average
+
+    def test_metadata_smaller_than_debug_info(self, fig9, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        for name, (probe, dwarf) in fig9.items():
+            assert probe < dwarf, f"{name}: metadata {probe:.1f}% vs dwarf {dwarf:.1f}%"
+
+    def test_metadata_nonzero_everywhere(self, fig9, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        assert all(probe > 1.0 for probe, _ in fig9.values())
+
+    def test_report(self, fig9, benchmark):
+        lines = ["Fig. 9 — probe metadata share of total binary size", "",
+                 f"{'workload':14s} {'metadata':>9s} {'debuginfo':>10s}"
+                 "   (paper: metadata ~25% avg, < debug info)"]
+        for name, (probe, dwarf) in fig9.items():
+            lines.append(f"{name:14s} {probe:8.1f}% {dwarf:9.1f}%")
+        mean = sum(p for p, _ in fig9.values()) / len(fig9)
+        lines.append(f"{'average':14s} {mean:8.1f}%")
+        write_results("fig9_metadata_size.txt", lines)
+        print("\n" + "\n".join(lines))
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)

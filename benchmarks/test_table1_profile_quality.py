@@ -1,0 +1,64 @@
+"""Table I — HHVM profile quality (block overlap) and profiling overhead.
+
+Paper (HHVM, instrumentation profile as ground truth):
+
+===============  ========  ========  ==========
+                 AutoFDO   CSSPGO    Instr PGO
+Block overlap    88.2%     92.3%     100%
+Overhead         0%        0.04%     73.06%
+===============  ========  ========  ==========
+"""
+
+import pytest
+
+from repro.pgo.quality_eval import evaluate_profile_quality
+from repro.workloads import SERVER_WORKLOADS, build_server_workload
+
+from .conftest import driver_config, write_results
+
+
+@pytest.fixture(scope="module")
+def table1():
+    module = build_server_workload("hhvm")
+    requests = SERVER_WORKLOADS["hhvm"].requests
+    return evaluate_profile_quality(module, [requests], driver_config())
+
+
+class TestTable1:
+    def test_overlap_ordering(self, table1, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        overlap = table1.block_overlap
+        assert overlap["autofdo"] < overlap["csspgo"] <= overlap["instr"] == 1.0
+
+    def test_overlap_magnitudes(self, table1, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        assert 0.75 <= table1.block_overlap["autofdo"] <= 0.97
+        assert 0.85 <= table1.block_overlap["csspgo"] <= 0.995
+
+    def test_csspgo_gap_to_ground_truth_shrinks(self, table1, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        autofdo_gap = 1.0 - table1.block_overlap["autofdo"]
+        csspgo_gap = 1.0 - table1.block_overlap["csspgo"]
+        assert csspgo_gap < 0.75 * autofdo_gap
+
+    def test_overheads(self, table1, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        assert table1.profiling_overhead["autofdo"] == 0.0
+        assert abs(table1.profiling_overhead["csspgo"]) < 0.01
+        assert 0.3 <= table1.profiling_overhead["instr"] <= 1.5  # paper: 0.73
+
+    def test_report(self, table1, benchmark):
+        lines = ["Table I — HHVM profile quality and profiling overhead", "",
+                 f"{'':18s} {'AutoFDO':>9s} {'CSSPGO':>9s} {'Instr':>9s}"]
+        o = table1.block_overlap
+        h = table1.profiling_overhead
+        lines.append(f"{'block overlap':18s} {o['autofdo']*100:8.1f}% "
+                     f"{o['csspgo']*100:8.1f}% {o['instr']*100:8.1f}%")
+        lines.append(f"{'profiling ovhd':18s} {h['autofdo']*100:8.2f}% "
+                     f"{h['csspgo']*100:8.2f}% {h['instr']*100:8.2f}%")
+        lines.append("")
+        lines.append("paper:              88.2%     92.3%    100.0%")
+        lines.append("                     0.00%     0.04%    73.06%")
+        write_results("table1_profile_quality.txt", lines)
+        print("\n" + "\n".join(lines))
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Fleet evaluation: the paper's five server workloads under every variant.
+
+Regenerates the headline comparison (Fig. 6/7 in miniature): performance and
+code size of AutoFDO, probe-only CSSPGO, full CSSPGO, and Instr PGO, all
+relative to AutoFDO.
+
+Run:  python examples/server_fleet.py          (full fleet, ~5 minutes)
+      python examples/server_fleet.py hhvm     (one workload)
+"""
+
+import sys
+
+from repro import PGODriverConfig, PGOVariant, run_pgo, speedup_over
+from repro.hw import PMUConfig
+from repro.workloads import SERVER_WORKLOADS, build_server_workload
+
+VARIANTS = [PGOVariant.NONE, PGOVariant.AUTOFDO,
+            PGOVariant.CSSPGO_PROBE_ONLY, PGOVariant.CSSPGO_FULL,
+            PGOVariant.INSTR]
+
+
+def main() -> None:
+    names = sys.argv[1:] or list(SERVER_WORKLOADS)
+    config = PGODriverConfig(pmu=PMUConfig(period=59))
+    print(f"{'workload':13s} {'autofdo':>10s} {'probe-only':>11s} "
+          f"{'csspgo':>9s} {'instr':>8s}   (% vs AutoFDO; text % in parens)")
+    for name in names:
+        module = build_server_workload(name)
+        requests = [SERVER_WORKLOADS[name].requests]
+        results = {v: run_pgo(module, v, requests, requests, config)
+                   for v in VARIANTS}
+        autofdo = results[PGOVariant.AUTOFDO]
+        cells = [f"{speedup_over(results[PGOVariant.NONE], autofdo)*100:+9.2f}%"]
+        for variant in (PGOVariant.CSSPGO_PROBE_ONLY, PGOVariant.CSSPGO_FULL,
+                        PGOVariant.INSTR):
+            perf = speedup_over(autofdo, results[variant]) * 100
+            text = (results[variant].final.sizes.text
+                    / autofdo.final.sizes.text - 1) * 100
+            cells.append(f"{perf:+6.2f}% ({text:+5.1f}%)")
+        print(f"{name:13s} {cells[0]} {' '.join(cells[1:])}")
+    print("\n(the autofdo column is vs the no-PGO build; the paper reports "
+          "1-5% for csspgo vs AutoFDO)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Source drift demo (paper sec. III.A).
+
+Collects a profile on pristine source, then rebuilds two edited versions:
+
+* a *comment-level* edit (line numbers shift, CFG unchanged) — AutoFDO's
+  line-keyed profile silently misattributes; CSSPGO's probes don't care;
+* a *CFG-level* edit — CSSPGO's checksum detects the drift and rejects the
+  stale profile instead of consuming garbage, AutoFDO cannot tell.
+
+Run:  python examples/source_drift.py
+"""
+
+from repro import PGODriverConfig, PGOVariant, build, measure_run, run_pgo
+from repro.annotate import apply_cfg_drift, apply_comment_drift
+from repro.hw import PMUConfig
+from repro.workloads import SERVER_WORKLOADS, build_server_workload
+
+WORKLOAD = "adfinder"
+
+
+def main() -> None:
+    pristine = build_server_workload(WORKLOAD)
+    requests = [SERVER_WORKLOADS[WORKLOAD].requests]
+    config = PGODriverConfig(pmu=PMUConfig(period=59))
+
+    for variant in (PGOVariant.AUTOFDO, PGOVariant.CSSPGO_FULL):
+        print(f"=== {variant.value} ===")
+        baseline = run_pgo(pristine, variant, requests, requests, config)
+        print(f"  pristine rebuild: {baseline.eval.cycles:12,.0f} cycles")
+
+        for kind, mutate in (("comment edit", apply_comment_drift),
+                             ("CFG edit", apply_cfg_drift)):
+            drifted = pristine.clone()
+            for name in list(drifted.functions):
+                if kind == "comment edit":
+                    mutate(drifted, name, 2)
+                else:
+                    mutate(drifted, name)
+            artifacts = build(drifted, variant, profile=baseline.profile)
+            cycles = measure_run(artifacts, requests).cycles
+            delta = (cycles / baseline.eval.cycles - 1) * 100
+            rejected = len(artifacts.annotation.rejected_checksum)
+            note = (f", {rejected} stale profiles rejected by checksum"
+                    if rejected else "")
+            print(f"  {kind:13s}: {cycles:12,.0f} cycles ({delta:+.2f}%){note}")
+        print()
+    print("paper: minor drift cost a server workload 8% under AutoFDO;")
+    print("CSSPGO tolerates comment drift and *detects* CFG drift.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""CSSPGO reproduction: context-sensitive sampling-based PGO with
+pseudo-instrumentation (He, Yu, Wang, Oh — CGO 2024).
+
+Top-level convenience exports; see DESIGN.md for the architecture and
+EXPERIMENTS.md for paper-vs-measured results.
+
+Quickstart::
+
+    from repro import build_workload, WorkloadSpec, PGOVariant, run_pgo
+    module = build_workload(WorkloadSpec("demo", seed=1))
+    result = run_pgo(module, PGOVariant.CSSPGO_FULL,
+                     train_args=[300], eval_args=[300])
+    print(result.eval.cycles)
+"""
+
+from .pgo import (BuildArtifacts, PGODriverConfig, PGORunResult, PGOVariant,
+                  build, compare_variants, measure_run, run_pgo,
+                  speedup_over)
+from .workloads.generator import WorkloadSpec, build_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BuildArtifacts", "PGODriverConfig", "PGORunResult", "PGOVariant",
+    "WorkloadSpec", "build", "build_workload", "compare_variants",
+    "measure_run", "run_pgo", "speedup_over", "__version__",
+]

@@ -1,0 +1,15 @@
+"""Profile application: matching, sample loading, drift handling."""
+
+from .drift import apply_cfg_drift, apply_comment_drift
+from .matcher import (ChecksumMismatch, annotate_function_dwarf,
+                      annotate_function_probe, clear_annotation)
+from .sample_loader import (AnnotationStats, annotate_autofdo,
+                            annotate_instr, annotate_probe_flat,
+                            csspgo_sample_loader)
+
+__all__ = [
+    "AnnotationStats", "ChecksumMismatch", "annotate_autofdo",
+    "annotate_function_dwarf", "annotate_function_probe", "annotate_instr",
+    "annotate_probe_flat", "apply_cfg_drift", "apply_comment_drift",
+    "clear_annotation", "csspgo_sample_loader",
+]

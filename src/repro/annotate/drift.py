@@ -1,0 +1,53 @@
+"""Source-drift simulation (paper sec. III.A).
+
+Two kinds of drift, matching the paper's discussion:
+
+* :func:`apply_comment_drift` — an edit that does not change the CFG (e.g.
+  adding a comment) shifts the line numbers of everything after it.  AutoFDO
+  profiles keyed by line offsets silently misattribute; probe profiles are
+  untouched (ids and checksums depend only on CFG shape).
+* :func:`apply_cfg_drift` — an edit that adds control flow.  The CFG checksum
+  changes, so probe-based annotation *detects* the drift and rejects the
+  stale profile instead of consuming garbage.
+"""
+
+from __future__ import annotations
+
+from ..ir.debug_info import DebugLoc
+from ..ir.function import BasicBlock, Function, Module
+from ..ir.instructions import Assign, Br, Cmp, CondBr
+
+
+def apply_comment_drift(module: Module, function_name: str,
+                        at_line: int, shift: int = 1) -> None:
+    """Shift line numbers >= ``at_line`` in one function (comment inserted)."""
+    fn = module.function(function_name)
+    for instr in fn.instructions():
+        if instr.dloc is not None and not instr.dloc.inline_stack:
+            if instr.dloc.line >= at_line:
+                instr.dloc = instr.dloc.with_line(instr.dloc.line + shift)
+
+
+def apply_cfg_drift(module: Module, function_name: str) -> None:
+    """Add a (dynamically dead) guard diamond at the function entry.
+
+    The new branch changes the CFG shape: probe checksums computed on the
+    drifted source will differ from the profile's persisted checksum.
+    """
+    fn = module.function(function_name)
+    entry = fn.entry
+    guard_label = fn.fresh_label("drift")
+    cond_reg = fn.fresh_reg("drift")
+    # Guard that never fires at run time but exists in the CFG.
+    guard = BasicBlock(guard_label, [
+        Assign(cond_reg, 0, DebugLoc(1)),
+        Br(entry.label, DebugLoc(1)),
+    ])
+    new_entry_label = fn.fresh_label("drifted_entry")
+    new_entry = BasicBlock(new_entry_label, [
+        Cmp("eq", cond_reg, 0, 1, DebugLoc(1)),
+        CondBr(cond_reg, guard_label, entry.label, DebugLoc(1)),
+    ])
+    fn.blocks.insert(0, new_entry)
+    fn._by_label[new_entry_label] = new_entry
+    fn.add_block(guard)

@@ -1,0 +1,124 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``compare`` — run the PGO variant comparison on a named or generated
+  workload and print the Fig. 6/7-style table;
+* ``quality`` — run the Table I profile-quality analysis;
+* ``profile`` — collect and dump a CSSPGO context profile (text format);
+* ``workloads`` — list the named workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import (PGODriverConfig, PGOVariant, build, compare_variants, run_pgo,
+               speedup_over)
+from .hw import PMUConfig, execute, make_pmu
+from .workloads import (SERVER_WORKLOADS, WorkloadSpec, build_server_workload,
+                        build_workload)
+
+
+def _resolve_workload(name: str, seed: Optional[int]):
+    if name in SERVER_WORKLOADS:
+        spec = SERVER_WORKLOADS[name]
+        module = build_server_workload(name)
+        return module, spec.requests
+    spec = WorkloadSpec(name, seed=seed or 0)
+    return build_workload(spec), spec.requests
+
+
+def _config(args) -> PGODriverConfig:
+    return PGODriverConfig(pmu=PMUConfig(period=args.period),
+                           profile_iterations=args.iterations)
+
+
+def cmd_workloads(_args) -> int:
+    print("named server workloads:")
+    for name, spec in SERVER_WORKLOADS.items():
+        print(f"  {name:14s} seed={spec.seed} requests={spec.requests} "
+              f"workers={spec.n_workers} dispatchers={spec.n_dispatch}")
+    print("\nany other name generates a workload from --seed.")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    module, requests = _resolve_workload(args.workload, args.seed)
+    results = compare_variants(module, [requests], [requests],
+                               config=_config(args))
+    autofdo = results[PGOVariant.AUTOFDO]
+    print(f"workload {args.workload}: cycles (lower is better)\n")
+    for variant, result in results.items():
+        line = (f"  {variant.value:12s} {result.eval.cycles:14,.0f}"
+                f"  text={result.final.sizes.text:6d}")
+        if variant is not PGOVariant.AUTOFDO:
+            line += f"  vs AutoFDO {speedup_over(autofdo, result)*100:+.2f}%"
+        print(line)
+    return 0
+
+
+def cmd_quality(args) -> int:
+    from .pgo.quality_eval import evaluate_profile_quality
+    module, requests = _resolve_workload(args.workload, args.seed)
+    report = evaluate_profile_quality(module, [requests], _config(args))
+    print(f"workload {args.workload}: block overlap vs instrumentation\n")
+    for key in ("autofdo", "csspgo", "instr"):
+        print(f"  {key:10s} overlap {report.block_overlap[key]*100:6.2f}%   "
+              f"profiling overhead {report.profiling_overhead[key]*100:+7.2f}%")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from .correlate import generate_context_profile
+    from .profile import dump_context_profile
+    module, requests = _resolve_workload(args.workload, args.seed)
+    artifacts = build(module, PGOVariant.CSSPGO_FULL)
+    pmu = make_pmu(PMUConfig(period=args.period))
+    run = execute(artifacts.binary, [requests], pmu=pmu)
+    profile, inferrer = generate_context_profile(
+        artifacts.binary, pmu.finish(run.instructions_retired),
+        artifacts.probe_meta)
+    text = dump_context_profile(profile)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {len(profile.contexts)} contexts to {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CSSPGO reproduction (CGO 2024) command line")
+    parser.add_argument("--period", type=int, default=59,
+                        help="PMU sampling period (instructions)")
+    parser.add_argument("--iterations", type=int, default=2,
+                        help="continuous-profiling iterations")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="generator seed for ad-hoc workloads")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("workloads", help="list named workloads")
+    p.set_defaults(func=cmd_workloads)
+    p = sub.add_parser("compare", help="compare PGO variants on a workload")
+    p.add_argument("workload")
+    p.set_defaults(func=cmd_compare)
+    p = sub.add_parser("quality", help="Table I profile-quality analysis")
+    p.add_argument("workload")
+    p.set_defaults(func=cmd_quality)
+    p = sub.add_parser("profile", help="dump a CSSPGO context profile")
+    p.add_argument("workload")
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(func=cmd_profile)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,19 @@
+"""Code generation: lowering, linking, debug/probe sections, sizes."""
+
+from .binary import TEXT_BASE, Binary, FunctionSymbol, link
+from .dwarf import DwarfInfo, LineRow, build_dwarf
+from .lower import LowerConfig, lower_function, lower_module
+from .mir import INSTR_SIZES, MBlock, MFunction, MInstr, ProbeRecord
+from .probe_metadata import ProbeAnchor, ProbeMetadata, build_probe_metadata
+from .regalloc import (NUM_PHYS_REGS, block_frequencies, choose_spills,
+                       spill_weights)
+from .sizes import BinarySizes, measure_sizes
+
+__all__ = [
+    "Binary", "BinarySizes", "DwarfInfo", "FunctionSymbol", "INSTR_SIZES",
+    "LineRow", "LowerConfig", "MBlock", "MFunction", "MInstr",
+    "NUM_PHYS_REGS", "ProbeAnchor", "ProbeMetadata", "ProbeRecord",
+    "TEXT_BASE", "block_frequencies", "build_dwarf", "build_probe_metadata",
+    "choose_spills", "link", "lower_function", "lower_module",
+    "measure_sizes", "spill_weights",
+]

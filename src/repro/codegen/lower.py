@@ -1,0 +1,216 @@
+"""Lowering: IR functions to machine IR.
+
+Responsibilities:
+
+* expand spilled registers into ``spill_ld``/``spill_st`` around each use/def
+  (spill set from :mod:`repro.codegen.regalloc`);
+* materialize pseudo-probes as metadata on the next real instruction —
+  probes emit **zero** machine instructions (the paper's core low-overhead
+  property), while ``InstrProfIncrement`` lowers to a real ``count``
+  instruction;
+* pick branch shapes: a conditional branch whose false (or true, inverted)
+  target is the fall-through block needs only one ``br``; otherwise a
+  ``br`` + ``jmp`` pair is emitted;
+* tail-call elimination: ``call f; ret f()``'s result lowers to ``tailcall``
+  (frame reuse), which is what removes the caller frame from stack samples
+  and motivates the paper's missing-frame inferrer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.function import BasicBlock, Function, Module
+from ..ir.instructions import (Assign, BinOp, Br, Call, Cmp, CondBr, Instr,
+                               InstrProfIncrement, Load, PseudoProbe, Ret,
+                               Select, Store)
+from .mir import MBlock, MFunction, MInstr, ProbeRecord
+from .regalloc import NUM_PHYS_REGS, choose_spills
+
+
+class LowerConfig:
+    """Codegen knobs."""
+
+    def __init__(self, enable_tce: bool = True,
+                 num_phys_regs: int = NUM_PHYS_REGS):
+        self.enable_tce = enable_tce
+        self.num_phys_regs = num_phys_regs
+
+
+def lower_function(fn: Function, config: Optional[LowerConfig] = None) -> MFunction:
+    config = config or LowerConfig()
+    spilled = set(choose_spills(fn, config.num_phys_regs))
+    mfn = MFunction(fn.name, fn.guid, fn.entry_count)
+    mfn.spilled_regs = sorted(spilled)
+    mfn.local_arrays = dict(fn.local_arrays)
+    mfn.params = list(fn.params)
+
+    # Intra-function layout: hot blocks in current order, cold blocks sunk.
+    layout = [b for b in fn.blocks if not b.is_cold] + \
+             [b for b in fn.blocks if b.is_cold]
+    next_label: Dict[str, Optional[str]] = {}
+    for i, block in enumerate(layout):
+        is_last = i + 1 >= len(layout)
+        same_section = (not is_last
+                        and layout[i + 1].is_cold == block.is_cold)
+        next_label[block.label] = layout[i + 1].label if same_section else None
+
+    for block in layout:
+        mblock = MBlock(block.label, block.is_cold)
+        mblock.source_count = block.count
+        _lower_block(fn, block, mblock, spilled, next_label[block.label], config)
+        mfn.blocks.append(mblock)
+    return mfn
+
+
+def _lower_block(fn: Function, block: BasicBlock, mblock: MBlock,
+                 spilled: set, fallthrough: Optional[str],
+                 config: LowerConfig) -> None:
+    pending_probes: List[ProbeRecord] = []
+    out = mblock.instrs
+    # Spilled registers already materialized in a scratch register within
+    # this block: reload only at the first use, re-store after each def
+    # (region-level spill placement, like a splitting allocator would do).
+    loaded: set = set()
+
+    def emit(minstr: MInstr) -> MInstr:
+        minstr.func = fn.name
+        minstr.block_label = block.label
+        if pending_probes:
+            minstr.probes.extend(pending_probes)
+            pending_probes.clear()
+        out.append(minstr)
+        return minstr
+
+    def use(reg_or_const, dloc) -> object:
+        """Reload a spilled register before its first use in the block."""
+        if (isinstance(reg_or_const, str) and reg_or_const in spilled
+                and reg_or_const not in loaded):
+            emit(MInstr("spill_ld", dst=reg_or_const, a=f"slot:{reg_or_const}",
+                        dloc=dloc))
+            loaded.add(reg_or_const)
+        return reg_or_const
+
+    def define(reg: Optional[str], dloc) -> None:
+        """Store a spilled register after definition."""
+        if reg is not None and reg in spilled:
+            emit(MInstr("spill_st", a=f"slot:{reg}", b=reg, dloc=dloc))
+            loaded.add(reg)
+
+    instrs = block.instrs
+    for idx, instr in enumerate(instrs):
+        dloc = instr.dloc
+        if isinstance(instr, PseudoProbe):
+            pending_probes.append(ProbeRecord(instr.guid, instr.probe_id,
+                                              instr.inline_stack,
+                                              instr.dangling))
+        elif isinstance(instr, InstrProfIncrement):
+            emit(MInstr("count", a=instr.func_name, b=instr.counter_id,
+                        dloc=dloc))
+        elif isinstance(instr, Assign):
+            use(instr.src, dloc)
+            emit(MInstr("mov", dst=instr.dst, a=instr.src, dloc=dloc))
+            define(instr.dst, dloc)
+        elif isinstance(instr, BinOp):
+            use(instr.lhs, dloc)
+            use(instr.rhs, dloc)
+            emit(MInstr("binop", op=instr.op, dst=instr.dst, a=instr.lhs,
+                        b=instr.rhs, dloc=dloc))
+            define(instr.dst, dloc)
+        elif isinstance(instr, Cmp):
+            use(instr.lhs, dloc)
+            use(instr.rhs, dloc)
+            emit(MInstr("cmp", op=instr.pred, dst=instr.dst, a=instr.lhs,
+                        b=instr.rhs, dloc=dloc))
+            define(instr.dst, dloc)
+        elif isinstance(instr, Select):
+            use(instr.cond, dloc)
+            use(instr.tval, dloc)
+            use(instr.fval, dloc)
+            emit(MInstr("select", dst=instr.dst, a=instr.cond, b=instr.tval,
+                        c=instr.fval, dloc=dloc))
+            define(instr.dst, dloc)
+        elif isinstance(instr, Load):
+            use(instr.index, dloc)
+            emit(MInstr("load", dst=instr.dst, a=instr.array, b=instr.index,
+                        dloc=dloc))
+            define(instr.dst, dloc)
+        elif isinstance(instr, Store):
+            use(instr.index, dloc)
+            use(instr.value, dloc)
+            emit(MInstr("store", a=instr.array, b=instr.index, c=instr.value,
+                        dloc=dloc))
+        elif isinstance(instr, Call):
+            tce = (config.enable_tce and idx + 1 < len(instrs)
+                   and _is_tail_position(instrs, idx, instr))
+            for arg in instr.args:
+                use(arg, dloc)
+            if tce:
+                minstr = MInstr("tailcall", a=instr.callee,
+                                args=list(instr.args), dloc=dloc)
+                minstr.call_ctx = instr.probe_context()
+                emit(minstr)
+                # The paired Ret (and any interleaved probes) are consumed.
+                _absorb_trailing_probes(instrs, idx + 1, pending_probes)
+                break
+            minstr = MInstr("call", a=instr.callee, args=list(instr.args),
+                            dst=instr.dst, dloc=dloc)
+            minstr.call_ctx = instr.probe_context()
+            emit(minstr)
+            define(instr.dst, dloc)
+        elif isinstance(instr, Br):
+            if instr.target != fallthrough:
+                emit(MInstr("jmp", target=instr.target, dloc=dloc))
+            elif pending_probes:
+                emit(MInstr("nop", dloc=dloc))  # anchor for trailing probes
+        elif isinstance(instr, CondBr):
+            use(instr.cond, dloc)
+            if instr.false_target == fallthrough:
+                emit(MInstr("br", a=instr.cond, target=instr.true_target,
+                            dloc=dloc))
+            elif instr.true_target == fallthrough:
+                emit(MInstr("br", a=instr.cond, target=instr.false_target,
+                            negated=True, dloc=dloc))
+            else:
+                emit(MInstr("br", a=instr.cond, target=instr.true_target,
+                            dloc=dloc))
+                emit(MInstr("jmp", target=instr.false_target, dloc=dloc))
+        elif isinstance(instr, Ret):
+            use(instr.value, dloc)
+            emit(MInstr("ret", a=instr.value, dloc=dloc))
+        else:
+            raise TypeError(f"unhandled IR instruction {instr!r}")
+    if pending_probes:
+        # Block produced no real instruction after the probes: anchor them.
+        emit(MInstr("nop"))
+
+
+def _is_tail_position(instrs: List[Instr], idx: int, call: Call) -> bool:
+    """True when the call is immediately followed (modulo probes) by a Ret of
+    exactly the call's result."""
+    j = idx + 1
+    while j < len(instrs) and isinstance(instrs[j], PseudoProbe):
+        j += 1
+    if j != len(instrs) - 1:
+        return False
+    term = instrs[j]
+    if not isinstance(term, Ret):
+        return False
+    if call.dst is None:
+        return term.value is None
+    return term.value == call.dst
+
+
+def _absorb_trailing_probes(instrs: List[Instr], start: int,
+                            pending: List[ProbeRecord]) -> None:
+    for instr in instrs[start:]:
+        if isinstance(instr, PseudoProbe):
+            pending.append(ProbeRecord(instr.guid, instr.probe_id,
+                                       instr.inline_stack, instr.dangling))
+
+
+def lower_module(module: Module,
+                 config: Optional[LowerConfig] = None) -> Dict[str, MFunction]:
+    config = config or LowerConfig()
+    return {name: lower_function(fn, config)
+            for name, fn in module.functions.items()}

@@ -1,0 +1,168 @@
+"""Machine IR: the lowered, addressable instruction stream.
+
+A :class:`MInstr` is a self-contained machine instruction (the executor in
+:mod:`repro.hw` interprets it directly).  Each carries:
+
+* ``addr``/``size`` — its place in the binary (sizes are fixed per kind,
+  loosely modeled on x86-64 encodings);
+* ``dloc`` — the DWARF-like debug location lowered from IR (degraded exactly
+  as the optimizer degraded it);
+* ``probes`` — pseudo-probe records materialized "against the location of the
+  physical instruction next to" the probe (paper sec. III.A).  Probes occupy
+  zero bytes of text.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.debug_info import DebugLoc
+
+#: Instruction sizes in bytes by kind (loosely x86-64-like).
+INSTR_SIZES: Dict[str, int] = {
+    "mov": 3,
+    "binop": 4,
+    "cmp": 4,
+    "select": 4,
+    "load": 4,
+    "store": 4,
+    "spill_ld": 4,
+    "spill_st": 4,
+    "call": 5,
+    "tailcall": 5,
+    "jmp": 2,
+    "br": 2,
+    "ret": 1,
+    "count": 7,  # lock-inc of a memory counter
+    "nop": 1,
+}
+
+
+class ProbeRecord:
+    """A pseudo-probe materialized at a machine address."""
+
+    __slots__ = ("guid", "probe_id", "inline_stack", "dangling")
+
+    def __init__(self, guid: int, probe_id: int,
+                 inline_stack: Tuple[Tuple[int, int], ...], dangling: bool):
+        self.guid = guid
+        self.probe_id = probe_id
+        self.inline_stack = inline_stack
+        self.dangling = dangling
+
+    def key(self) -> tuple:
+        return (self.guid, self.probe_id, self.inline_stack)
+
+    def __repr__(self) -> str:
+        stack = "".join(f"@{g:x}:{i}" for g, i in self.inline_stack)
+        return f"<probe {self.guid:x}:{self.probe_id}{stack}{' dangling' if self.dangling else ''}>"
+
+
+class MInstr:
+    """One machine instruction.
+
+    Operand conventions by kind (operands are register names, array names,
+    ints, or labels depending on kind):
+
+    ==========  =====================================================
+    kind        operands
+    ==========  =====================================================
+    mov         dst, a=src
+    binop       op, dst, a, b
+    cmp         op=pred, dst, a, b
+    select      dst, a=cond, b=tval, c=fval
+    load        dst, a=array, b=index
+    store       a=array, b=index, c=value
+    spill_ld    dst, a=slot-name
+    spill_st    a=slot-name, b=src
+    call        a=callee, args=[...], dst
+    tailcall    a=callee, args=[...]
+    jmp         target (label then addr)
+    br          a=cond reg, target, negated
+    ret         a=value or None
+    count       a=func name, b=counter id
+    nop         —
+    ==========  =====================================================
+    """
+
+    __slots__ = ("kind", "op", "dst", "a", "b", "c", "args", "target",
+                 "negated", "addr", "size", "dloc", "probes", "func",
+                 "block_label", "target_addr", "call_ctx")
+
+    def __init__(self, kind: str, *, op: Optional[str] = None,
+                 dst: Optional[str] = None, a=None, b=None, c=None,
+                 args: Optional[list] = None, target: Optional[str] = None,
+                 negated: bool = False, dloc: Optional[DebugLoc] = None):
+        self.kind = kind
+        self.op = op
+        self.dst = dst
+        self.a = a
+        self.b = b
+        self.c = c
+        self.args = args
+        self.target = target          # block label (pre-link) — see target_addr
+        self.negated = negated
+        self.addr = -1
+        self.size = INSTR_SIZES[kind]
+        self.dloc = dloc
+        self.probes: List[ProbeRecord] = []
+        self.func: Optional[str] = None
+        self.block_label: Optional[str] = None
+        self.target_addr: Optional[int] = None  # resolved by the linker
+        #: For call/tailcall: the probe-context chain of the call site
+        #: (outermost-first (guid, callsite_probe_id) pairs), () when the
+        #: module is not probe-instrumented.
+        self.call_ctx: tuple = ()
+
+    def is_control(self) -> bool:
+        return self.kind in ("jmp", "br", "call", "tailcall", "ret")
+
+    def __repr__(self) -> str:
+        fields = [self.kind]
+        if self.op:
+            fields.append(self.op)
+        if self.dst:
+            fields.append(f"dst={self.dst}")
+        for name, val in (("a", self.a), ("b", self.b), ("c", self.c)):
+            if val is not None:
+                fields.append(f"{name}={val}")
+        if self.target is not None:
+            fields.append(f"-> {self.target}")
+        return f"<{self.addr:#06x} {' '.join(map(str, fields))}>"
+
+
+class MBlock:
+    """A lowered block: label plus machine instructions (may be empty when
+    the block was pure fall-through)."""
+
+    __slots__ = ("label", "instrs", "is_cold", "source_count")
+
+    def __init__(self, label: str, is_cold: bool = False):
+        self.label = label
+        self.instrs: List[MInstr] = []
+        self.is_cold = is_cold
+        self.source_count: Optional[float] = None
+
+
+class MFunction:
+    """A lowered function: blocks in final intra-function layout order."""
+
+    def __init__(self, name: str, guid: int, entry_count: Optional[float]):
+        self.name = name
+        self.guid = guid
+        self.entry_count = entry_count
+        self.blocks: List[MBlock] = []
+        #: Registers the allocator spilled (kept for diagnostics/tests).
+        self.spilled_regs: List[str] = []
+        #: Local array name -> size, copied from IR for frame setup.
+        self.local_arrays: Dict[str, int] = {}
+        self.params: List[str] = []
+
+    def hot_blocks(self) -> List[MBlock]:
+        return [b for b in self.blocks if not b.is_cold]
+
+    def cold_blocks(self) -> List[MBlock]:
+        return [b for b in self.blocks if b.is_cold]
+
+    def instructions(self) -> List[MInstr]:
+        return [i for b in self.blocks for i in b.instrs]

@@ -1,0 +1,86 @@
+""".pseudo_probe-like metadata section: encoding, lookup, and size model.
+
+Pseudo-probes never become machine instructions; they are materialized here as
+metadata mapping a binary address to the probes anchored at it (paper
+sec. III.A).  The section is self-contained — no relocations against the rest
+of the binary — so it can be split out of the image and is never loaded at
+run time; its size matters only for build artifacts (Fig. 9), not performance.
+
+Size model follows LLVM's encoding: per function a GUID + CFG checksum header,
+then per probe a varint-coded (id, type, address-delta) plus the inline-frame
+chain for inlined probes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .binary import Binary
+from .mir import ProbeRecord
+
+#: Size-model constants (bytes).
+FUNCTION_HEADER_COST = 24          # GUID (8) + checksum (8) + counts/name idx
+PROBE_BASE_COST = 6                # id varint + type/flags + addr delta
+INLINE_FRAME_COST = 8              # (guid index, probe id) varint pair
+
+
+class ProbeAnchor:
+    """All probes anchored at one binary address."""
+
+    __slots__ = ("addr", "records")
+
+    def __init__(self, addr: int, records: List[ProbeRecord]):
+        self.addr = addr
+        self.records = records
+
+
+class ProbeMetadata:
+    """Decoded view of the probe section for one binary."""
+
+    def __init__(self) -> None:
+        self.anchors: Dict[int, ProbeAnchor] = {}
+        #: Function GUID -> persisted CFG checksum.
+        self.checksums: Dict[int, int] = {}
+        self.size_bytes = 0
+        #: Number of probe records materialized (diagnostics).
+        self.num_records = 0
+
+    def probes_at(self, addr: int) -> List[ProbeRecord]:
+        anchor = self.anchors.get(addr)
+        return anchor.records if anchor is not None else []
+
+    def iter_records(self) -> Iterator[Tuple[int, ProbeRecord]]:
+        for addr in sorted(self.anchors):
+            for record in self.anchors[addr].records:
+                yield addr, record
+
+
+def build_probe_metadata(binary: Binary, module=None) -> ProbeMetadata:
+    """Collect probe records off the lowered instructions into the section.
+
+    ``module`` (optional) supplies per-function CFG checksums persisted at
+    probe-insertion time.
+    """
+    meta = ProbeMetadata()
+    size = 0
+    guids_seen = set()
+    for minstr in binary.instrs:
+        if not minstr.probes:
+            continue
+        anchor = meta.anchors.get(minstr.addr)
+        if anchor is None:
+            anchor = ProbeAnchor(minstr.addr, [])
+            meta.anchors[minstr.addr] = anchor
+        for record in minstr.probes:
+            anchor.records.append(record)
+            meta.num_records += 1
+            size += PROBE_BASE_COST + INLINE_FRAME_COST * len(record.inline_stack)
+            guids_seen.add(record.guid)
+    size += FUNCTION_HEADER_COST * max(len(guids_seen), 0)
+    meta.size_bytes = size
+    if module is not None:
+        meta.checksums.update(module.probe_guid_checksums)
+        for fn in module.functions.values():
+            if fn.probe_checksum is not None:
+                meta.checksums[fn.guid] = fn.probe_checksum
+    return meta

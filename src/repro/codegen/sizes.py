@@ -1,0 +1,47 @@
+"""Binary size accounting (Figs. 7 and 9).
+
+``text`` is what Fig. 7 compares across PGO variants; ``probe_metadata`` as a
+share of the whole image (text + debug info + probe metadata) is Fig. 9.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .binary import Binary
+from .dwarf import DwarfInfo, build_dwarf
+from .probe_metadata import ProbeMetadata, build_probe_metadata
+
+
+class BinarySizes:
+    """Section sizes for one linked binary (bytes)."""
+
+    def __init__(self, text: int, dwarf: int, probe_metadata: int):
+        self.text = text
+        self.dwarf = dwarf
+        self.probe_metadata = probe_metadata
+
+    @property
+    def total(self) -> int:
+        """Full image size: text + ``-g2`` debug info + probe metadata."""
+        return self.text + self.dwarf + self.probe_metadata
+
+    def probe_metadata_share(self) -> float:
+        return self.probe_metadata / self.total if self.total else 0.0
+
+    def dwarf_share(self) -> float:
+        return self.dwarf / self.total if self.total else 0.0
+
+    def __repr__(self) -> str:
+        return (f"<BinarySizes text={self.text} dwarf={self.dwarf} "
+                f"probes={self.probe_metadata}>")
+
+
+def measure_sizes(binary: Binary, dwarf: Optional[DwarfInfo] = None,
+                  probe_meta: Optional[ProbeMetadata] = None) -> BinarySizes:
+    if dwarf is None:
+        dwarf = build_dwarf(binary)
+    if probe_meta is None:
+        probe_meta = build_probe_metadata(binary)
+    return BinarySizes(binary.text_size, dwarf.size_bytes,
+                       probe_meta.size_bytes)

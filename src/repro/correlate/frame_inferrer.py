@@ -1,0 +1,94 @@
+"""Missing-frame inference for tail calls (paper sec. III.B).
+
+Tail-call elimination removes the caller's frame, so stack samples taken
+inside the tail-callee skip the wrapper entirely.  The paper's mitigation:
+"build a dynamic call graph that consists of only tail call edges constructed
+from LBR samples and do a DFS-search on that graph to find a unique path for a
+given pair of parent and child frame" — ambiguous pairs (multiple paths) fail
+inference.  The paper observes more than two-thirds of missing frames are
+recoverable in practice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..codegen.binary import Binary
+
+
+class TailCallGraph:
+    """Dynamic tail-call graph: edges observed in LBR samples."""
+
+    def __init__(self) -> None:
+        #: func -> {target_func -> tailcall instruction addr}
+        self.edges: Dict[str, Dict[str, int]] = {}
+
+    def add_edge(self, source_func: str, target_func: str,
+                 tailcall_addr: int) -> None:
+        self.edges.setdefault(source_func, {})[target_func] = tailcall_addr
+
+    @classmethod
+    def from_samples(cls, binary: Binary, samples) -> "TailCallGraph":
+        graph = cls()
+        for sample in samples:
+            for source, target in sample.lbr:
+                if not binary.has_addr(source):
+                    continue
+                instr = binary.instr_at(source)
+                if instr.kind == "tailcall":
+                    source_func = instr.func
+                    target_func = binary.function_at(target)
+                    if source_func and target_func:
+                        graph.add_edge(source_func, target_func, source)
+        return graph
+
+
+class FrameInferrer:
+    """Fills gaps between an expected callee and the observed frame."""
+
+    def __init__(self, graph: TailCallGraph):
+        self.graph = graph
+        self.attempted = 0
+        self.recovered = 0
+        self._cache: Dict[Tuple[str, str], Optional[List[Tuple[str, int]]]] = {}
+
+    def infer(self, expected_func: str,
+              actual_func: str) -> Optional[List[Tuple[str, int]]]:
+        """Frames between ``expected_func`` (what the call targeted) and
+        ``actual_func`` (what the next stack frame actually is).
+
+        Returns a root-first list of ``(function, tailcall_addr)`` pairs:
+        the call entered ``expected_func``, which tail-called onward at the
+        returned addresses until control reached ``actual_func``.  ``None``
+        when no path or multiple paths exist (inference failure).
+        """
+        self.attempted += 1
+        key = (expected_func, actual_func)
+        if key in self._cache:
+            result = self._cache[key]
+            if result is not None:
+                self.recovered += 1
+            return result
+        paths: List[List[Tuple[str, int]]] = []
+        self._dfs(expected_func, actual_func, [], set(), paths)
+        result = paths[0] if len(paths) == 1 else None
+        self._cache[key] = result
+        if result is not None:
+            self.recovered += 1
+        return result
+
+    def _dfs(self, current: str, goal: str, path: List[Tuple[str, int]],
+             visited: Set[str], out: List[List[Tuple[str, int]]]) -> None:
+        if len(out) > 1:
+            return  # already ambiguous, stop searching
+        if current == goal:
+            out.append(list(path))
+            return
+        visited.add(current)
+        for target, addr in self.graph.edges.get(current, {}).items():
+            if target in visited:
+                continue
+            path.append((current, addr))
+            self._dfs(target, goal, path, visited, out)
+            path.pop()
+        visited.discard(current)

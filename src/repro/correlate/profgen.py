@@ -1,0 +1,230 @@
+"""Profile generation: raw samples -> compiler-consumable profiles.
+
+This is the llvm-profgen equivalent.  Three modes:
+
+* :func:`generate_dwarf_profile` — AutoFDO: attribute range counts to
+  (line, discriminator) keys via the DWARF line table, taking the **max**
+  over same-line instructions (the heuristic that breaks under code
+  duplication, paper sec. III.A(b));
+* :func:`generate_probe_profile` — probe-only CSSPGO: attribute range counts
+  to pseudo-probe anchors, **summing** duplicated probes (accurate under
+  duplication); dangling probes are skipped (count unknown);
+* :func:`generate_context_profile` — full CSSPGO: like probe mode, but every
+  count lands under the calling context reconstructed by Algorithm 1; the
+  physical frame chain from the unwinder is concatenated with each probe's
+  self-describing inline chain.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from ..codegen.binary import Binary
+from ..codegen.probe_metadata import ProbeMetadata
+from ..hw.perf_data import PerfData
+from ..profile.context import ContextKey, base_context
+from ..profile.profiles import ContextProfile, FlatProfile
+from .frame_inferrer import FrameInferrer, TailCallGraph
+from .unwinder import CallSample, RangeSample, Unwinder
+
+
+class RawAggregation:
+    """Shared first stage: unwound ranges and calls, aggregated by identity."""
+
+    def __init__(self) -> None:
+        #: (begin, end, context) -> count
+        self.ranges: Counter = Counter()
+        #: (call_addr, target_addr, context) -> count
+        self.calls: Counter = Counter()
+        self.broken_samples = 0
+        self.total_samples = 0
+
+
+def aggregate_samples(binary: Binary, data: PerfData,
+                      use_inferrer: bool = True) -> Tuple[RawAggregation, FrameInferrer]:
+    """Unwind every sample and histogram identical ranges/calls."""
+    graph = TailCallGraph.from_samples(binary, data.samples)
+    inferrer = FrameInferrer(graph) if use_inferrer else None
+    unwinder = Unwinder(binary, inferrer)
+    agg = RawAggregation()
+    agg.total_samples = len(data.samples)
+    for sample in data.samples:
+        result = unwinder.unwind(sample)
+        if result.broken:
+            agg.broken_samples += 1
+        for r in result.ranges:
+            agg.ranges[(r.begin, r.end, r.context)] += 1
+        for c in result.calls:
+            agg.calls[(c.call_addr, c.target_addr, c.context)] += 1
+    return agg, inferrer
+
+
+# ---------------------------------------------------------------------------
+# DWARF (AutoFDO) mode
+# ---------------------------------------------------------------------------
+
+
+def generate_dwarf_profile(binary: Binary, data: PerfData) -> FlatProfile:
+    agg, _ = aggregate_samples(binary, data, use_inferrer=False)
+    # Per-instruction counts first.
+    instr_counts: Counter = Counter()
+    for (begin, end, _ctx), count in agg.ranges.items():
+        for minstr in binary.instructions_in_range(begin, end):
+            instr_counts[minstr.addr] += count
+    profile = FlatProfile(FlatProfile.KIND_DWARF)
+    # Collapse to (function, line, disc) with the max-heuristic.
+    for addr, count in instr_counts.items():
+        minstr = binary.instr_at(addr)
+        if minstr.dloc is None:
+            continue
+        func = minstr.dloc.leaf_function(minstr.func)
+        key = (minstr.dloc.line, minstr.dloc.discriminator)
+        profile.get_or_create(func).set_body_max(key, float(count))
+    # Head counts and call targets from observed call transfers.
+    for (call_addr, target_addr, _ctx), count in agg.calls.items():
+        call_instr = binary.instr_at(call_addr)
+        callee = binary.function_at(target_addr)
+        if callee is None:
+            continue
+        if binary.symbols[callee].entry_addr == target_addr:
+            profile.get_or_create(callee).head += count
+        if call_instr.dloc is not None:
+            func = call_instr.dloc.leaf_function(call_instr.func)
+            key = (call_instr.dloc.line, call_instr.dloc.discriminator)
+            profile.get_or_create(func).add_call(key, callee, float(count))
+    profile.finalize()
+    return profile
+
+
+# ---------------------------------------------------------------------------
+# Probe modes
+# ---------------------------------------------------------------------------
+
+
+def _probe_counts(binary: Binary, agg: RawAggregation) -> Tuple[Counter, set]:
+    """(context, guid, probe_id, inline_stack) -> count for all anchored
+    probes covered by ranges.  Dangling probes get no counts — their counts
+    are unknown by construction (paper sec. III.A) — but are reported so the
+    annotator can distinguish "unknown" from "cold"."""
+    counts: Counter = Counter()
+    dangling: set = set()
+    for (begin, end, ctx), count in agg.ranges.items():
+        for minstr in binary.instructions_in_range(begin, end):
+            for record in minstr.probes:
+                if record.dangling:
+                    dangling.add((ctx, record.guid, record.probe_id,
+                                  record.inline_stack))
+                    continue
+                counts[(ctx, record.guid, record.probe_id,
+                        record.inline_stack)] += count
+    return counts, dangling
+
+
+def _names(binary: Binary, chain: tuple) -> List[Tuple[str, int]]:
+    return [(binary.guid_to_name.get(guid, f"guid:{guid:x}"), probe_id)
+            for guid, probe_id in chain]
+
+
+def generate_probe_profile(binary: Binary, data: PerfData,
+                           probe_meta: ProbeMetadata) -> FlatProfile:
+    """Probe-only CSSPGO: context-insensitive, sum-folded probe counts."""
+    agg, _ = aggregate_samples(binary, data, use_inferrer=False)
+    counts, dangling = _probe_counts(binary, agg)
+    profile = FlatProfile(FlatProfile.KIND_PROBE)
+    for (_ctx, guid, probe_id, _stack), count in counts.items():
+        name = binary.guid_to_name.get(guid)
+        if name is None:
+            continue
+        samples = profile.get_or_create(name)
+        samples.add_body(probe_id, float(count))  # duplicates sum up
+        if samples.checksum is None:
+            samples.checksum = probe_meta.checksums.get(guid)
+    for (_ctx, guid, probe_id, _stack) in dangling:
+        name = binary.guid_to_name.get(guid)
+        if name is not None:
+            profile.get_or_create(name).dangling.add(probe_id)
+    _probe_head_and_calls(binary, agg, probe_meta,
+                          lambda name, ctx: profile.get_or_create(name))
+    profile.finalize()
+    return profile
+
+
+def _probe_head_and_calls(binary: Binary, agg: RawAggregation,
+                          probe_meta: ProbeMetadata, resolve) -> None:
+    """Attribute head counts and call targets; ``resolve(leaf_name, context)``
+    returns the FunctionSamples record to credit."""
+    for (call_addr, target_addr, ctx), count in agg.calls.items():
+        call_instr = binary.instr_at(call_addr)
+        callee = binary.function_at(target_addr)
+        if callee is None:
+            continue
+        if not call_instr.call_ctx:
+            continue
+        lex_guid, probe_id = call_instr.call_ctx[-1]
+        lex_name = binary.guid_to_name.get(lex_guid)
+        if lex_name is None:
+            continue
+        caller_samples = resolve(lex_name, (ctx, call_instr.call_ctx[:-1]))
+        caller_samples.add_call(probe_id, callee, float(count))
+        if binary.symbols[callee].entry_addr == target_addr:
+            callee_samples = resolve(
+                callee, (ctx, call_instr.call_ctx))
+            callee_samples.head += count
+
+
+def generate_context_profile(binary: Binary, data: PerfData,
+                             probe_meta: ProbeMetadata,
+                             use_inferrer: bool = True
+                             ) -> Tuple[ContextProfile, FrameInferrer]:
+    """Full CSSPGO: context-sensitive probe profile via Algorithm 1."""
+    agg, inferrer = aggregate_samples(binary, data, use_inferrer=use_inferrer)
+    counts, dangling = _probe_counts(binary, agg)
+    profile = ContextProfile()
+
+    def context_key(ctx: Optional[tuple], inline_chain: tuple,
+                    leaf_guid: int) -> Optional[ContextKey]:
+        leaf_name = binary.guid_to_name.get(leaf_guid)
+        if leaf_name is None:
+            return None
+        frames: List[Tuple[str, Optional[int]]] = []
+        if ctx is None:
+            # Unknown physical context: attribute to the base context.
+            return base_context(leaf_name)
+        for call_addr in ctx:
+            chain = binary.instr_at(call_addr).call_ctx
+            if not chain:
+                return base_context(leaf_name)
+            frames.extend(_names(binary, chain))
+        frames.extend(_names(binary, inline_chain))
+        return tuple(frames) + ((leaf_name, None),)
+
+    for (ctx, guid, probe_id, inline_stack), count in counts.items():
+        key = context_key(ctx, inline_stack, guid)
+        if key is None:
+            continue
+        samples = profile.get_or_create(key)
+        samples.add_body(probe_id, float(count))
+        if samples.checksum is None:
+            samples.checksum = probe_meta.checksums.get(guid)
+    for (ctx, guid, probe_id, inline_stack) in dangling:
+        key = context_key(ctx, inline_stack, guid)
+        if key is not None:
+            profile.get_or_create(key).dangling.add(probe_id)
+
+    name_to_guid = {n: g for g, n in binary.guid_to_name.items()}
+
+    def resolve(name: str, ctx_pair) -> object:
+        ctx, inline_chain = ctx_pair
+        guid = name_to_guid.get(name)
+        key = context_key(ctx, inline_chain, guid)
+        if key is None:
+            key = base_context(name)
+        samples = profile.get_or_create(key)
+        if samples.checksum is None:
+            samples.checksum = probe_meta.checksums.get(guid)
+        return samples
+
+    _probe_head_and_calls(binary, agg, probe_meta, resolve)
+    profile.finalize()
+    return profile, inferrer

@@ -1,0 +1,197 @@
+"""Algorithm 1: reconstruct calling contexts from synchronized LBR + stack
+samples (paper sec. III.B).
+
+The unwinder processes one :class:`~repro.hw.perf_data.PerfSample` at a time.
+LBR branches are walked in **reverse execution order**, maintaining the
+synchronized stack: walking back over a *call* pops the frame it created,
+walking back over a *return* re-enters the function it returned from, and
+walking back over a *tail call* swaps the replaced frame back in.  Between
+each pair of adjacent LBR entries lies one linear execution range, attributed
+to the context the stack held at that time.
+
+The calling context is kept as a root-first tuple of **call-site instruction
+addresses** — symbolization to names/probe ids happens in profgen.  The
+initial context comes from the stack sample; missing tail-call frames are
+repaired by the :class:`~repro.correlate.frame_inferrer.FrameInferrer`
+before unwinding (the inline-frame expansion of Algorithm 1's pseudocode is
+carried by each probe's self-describing inline chain instead — see
+DESIGN.md sec. 5).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..codegen.binary import Binary
+from ..hw.perf_data import PerfSample
+from .frame_inferrer import FrameInferrer
+
+Context = Tuple[int, ...]  # call-site instruction addresses, root first
+
+
+class RangeSample:
+    """One linear execution range under one calling context."""
+
+    __slots__ = ("begin", "end", "context")
+
+    def __init__(self, begin: int, end: int, context: Context):
+        self.begin = begin
+        self.end = end
+        self.context = context
+
+
+class CallSample:
+    """One observed call/tailcall transfer under a calling context."""
+
+    __slots__ = ("call_addr", "target_addr", "context")
+
+    def __init__(self, call_addr: int, target_addr: int, context: Context):
+        self.call_addr = call_addr
+        self.target_addr = target_addr
+        self.context = context
+
+
+class UnwindResult:
+    __slots__ = ("ranges", "calls", "broken")
+
+    def __init__(self) -> None:
+        self.ranges: List[RangeSample] = []
+        self.calls: List[CallSample] = []
+        #: True when the stack sample was inconsistent with LBR contents
+        #: (e.g. skid) and context reconstruction was abandoned part-way.
+        self.broken = False
+
+
+class Unwinder:
+    """Per-binary sample unwinder with memoized stack conversion."""
+
+    def __init__(self, binary: Binary,
+                 inferrer: Optional[FrameInferrer] = None):
+        self.binary = binary
+        self.inferrer = inferrer
+        self._stack_cache: dict = {}
+
+    # -- initial context from the stack sample -----------------------------
+    def context_from_stack(self, stack: Tuple[int, ...]) -> Optional[Context]:
+        """Convert a leaf-first stack sample to a root-first callsite tuple.
+
+        Each return address maps to the call instruction preceding it;
+        tail-call gaps (call target != observed callee frame) are repaired
+        with inferred frames when possible.
+        """
+        cached = self._stack_cache.get(stack)
+        if cached is not None or stack in self._stack_cache:
+            return cached
+        binary = self.binary
+        callsites: List[int] = []
+        # stack[0] is the leaf IP; deeper entries are return addresses.
+        for ret_addr in reversed(stack[1:]):  # root first
+            call_instr = self._call_before(ret_addr)
+            if call_instr is None:
+                self._stack_cache[stack] = None
+                return None
+            callsites.append(call_instr.addr)
+        # Tail-call repair: walk root->leaf checking that each call's target
+        # matches the function of the next-deeper frame.
+        if self.inferrer is not None:
+            callsites = self._repair(callsites, leaf_ip=stack[0])
+            if callsites is None:
+                self._stack_cache[stack] = None
+                return None
+        context = tuple(callsites)
+        self._stack_cache[stack] = context
+        return context
+
+    def _call_before(self, ret_addr: int):
+        binary = self.binary
+        if not binary.has_addr(ret_addr):
+            return None
+        idx = binary.index_of(ret_addr)
+        if idx == 0:
+            return None
+        call_instr = binary.instrs[idx - 1]
+        if call_instr.kind not in ("call", "tailcall"):
+            return None
+        return call_instr
+
+    def _repair(self, callsites: List[int], leaf_ip: int) -> Optional[List[int]]:
+        binary = self.binary
+        repaired: List[int] = []
+        for depth, addr in enumerate(callsites):
+            repaired.append(addr)
+            call_instr = binary.instr_at(addr)
+            expected = call_instr.a  # callee name
+            if depth + 1 < len(callsites):
+                deeper = binary.function_at(callsites[depth + 1])
+            else:
+                deeper = binary.function_at(leaf_ip)
+            if deeper is None:
+                return None
+            if expected == deeper:
+                continue
+            inferred = self.inferrer.infer(expected, deeper)
+            if inferred is None:
+                return None
+            for _func, tailcall_addr in inferred:
+                repaired.append(tailcall_addr)
+        return repaired
+
+    # -- Algorithm 1 ---------------------------------------------------------
+    def unwind(self, sample: PerfSample) -> UnwindResult:
+        """Walk the LBR newest-to-oldest, emitting execution ranges.
+
+        Invariant: entering the loop iteration for branch ``b``, the working
+        context reflects the program state *between ``b`` and the next-later
+        branch* (all later branches have been walked back over).  The range
+        ``[b.target, later.source]`` therefore gets the current context, and
+        only afterwards is the context adjusted for ``b`` itself: a call or
+        tail call pops the frame it created, a return re-enters the function
+        it had left.
+        """
+        result = UnwindResult()
+        binary = self.binary
+        initial = self.context_from_stack(sample.stack)
+        if initial is None:
+            result.broken = True
+        #: None = unknown context (stack/LBR inconsistency, e.g. skid).
+        context_list: Optional[List[int]] = (
+            list(initial) if initial is not None else None)
+
+        prev_branch: Optional[Tuple[int, int]] = None
+        for source, target in reversed(sample.lbr):
+            if not binary.has_addr(source) or not binary.has_addr(target):
+                result.broken = True
+                context_list = None
+                prev_branch = (source, target)
+                continue
+            kind = binary.instr_at(source).kind
+            # 1. Emit the range executed after this branch.
+            if prev_branch is not None:
+                begin, end = target, prev_branch[0]
+                if (begin <= end
+                        and binary.function_at(begin) == binary.function_at(end)):
+                    ctx = tuple(context_list) if context_list is not None else None
+                    result.ranges.append(RangeSample(begin, end, ctx))
+            # 2. Walk back over this branch.
+            if kind in ("call", "tailcall"):
+                if context_list is not None:
+                    if context_list and context_list[-1] == source:
+                        context_list.pop()
+                    else:
+                        # Skid or truncated stack: context is unusable from
+                        # here back in time.
+                        result.broken = True
+                        context_list = None
+                # The call sample carries the *caller's* context.
+                ctx = tuple(context_list) if context_list is not None else None
+                result.calls.append(CallSample(source, target, ctx))
+            elif kind == "ret":
+                if context_list is not None:
+                    call_instr = self._call_before(target)
+                    if call_instr is None:
+                        result.broken = True
+                        context_list = None
+                    else:
+                        context_list.append(call_instr.addr)
+            prev_branch = (source, target)
+        return result

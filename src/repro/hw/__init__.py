@@ -1,0 +1,13 @@
+"""Hardware simulation: machine executor, LBR, PMU sampling."""
+
+from .executor import (Frame, MachineExecutionLimit, MachineExecutionResult,
+                       MachineExecutor, execute, make_pmu)
+from .lbr import LBRStack
+from .perf_data import PerfData, PerfSample
+from .pmu import PMU, PMUConfig
+
+__all__ = [
+    "Frame", "LBRStack", "MachineExecutionLimit", "MachineExecutionResult",
+    "MachineExecutor", "PMU", "PMUConfig", "PerfData", "PerfSample",
+    "execute", "make_pmu",
+]

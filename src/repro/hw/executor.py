@@ -1,0 +1,255 @@
+"""Machine-code executor: interprets a linked :class:`~repro.codegen.Binary`.
+
+This stands in for the CPU.  It executes the lowered program faithfully
+(differential-tested against the IR interpreter), maintains the physical call
+stack — including frame replacement on tail calls, which is what makes caller
+frames vanish from stack samples — and feeds attached observers:
+
+* a :class:`~repro.hw.pmu.PMU` for LBR + stack sampling;
+* a cost model (:mod:`repro.perfmodel`) for cycle accounting.
+
+Observers are optional and the hot loop only touches the ones attached, so
+pure-functional runs stay fast.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence
+
+from ..ir.semantics import eval_binop, eval_cmp, wrap_index
+from ..codegen.binary import Binary
+from ..codegen.mir import MInstr
+from .pmu import PMU
+
+
+class MachineExecutionLimit(Exception):
+    """Raised when execution exceeds the configured instruction budget."""
+
+
+class Frame:
+    """One activation record."""
+
+    __slots__ = ("func", "regs", "slots", "locals", "ret_index", "ret_dst")
+
+    def __init__(self, func: str, ret_index: Optional[int],
+                 ret_dst: Optional[str]):
+        self.func = func
+        self.regs: Dict[str, int] = {}
+        self.slots: Dict[str, int] = {}
+        self.locals: Dict[str, List[int]] = {}
+        self.ret_index = ret_index
+        self.ret_dst = ret_dst
+
+
+class MachineExecutionResult:
+    """Outcome of one machine-level run."""
+
+    def __init__(self) -> None:
+        self.return_value: Optional[int] = None
+        self.instructions_retired = 0
+        #: Instrumentation counters: (func, counter_id) -> count.
+        self.instr_counters: Counter = Counter()
+        self.taken_branches = 0
+
+
+class MachineExecutor:
+    """Interprets machine code with optional PMU and cost-model observers."""
+
+    def __init__(self, binary: Binary, max_instructions: int = 50_000_000,
+                 pmu: Optional[PMU] = None, cost_model=None):
+        self.binary = binary
+        self.max_instructions = max_instructions
+        self.pmu = pmu
+        self.cost_model = cost_model
+        self.globals: Dict[str, List[int]] = {
+            name: [0] * size for name, size in binary.global_arrays.items()}
+        self.frames: List[Frame] = []
+        self._cur_ip = 0
+
+    # -- stack sampling support -------------------------------------------
+    def walk_stack(self) -> List[int]:
+        """Frame-pointer walk: sampled IP, then return addresses, leaf first."""
+        stack = [self._cur_ip]
+        for frame in reversed(self.frames):
+            if frame.ret_index is not None:
+                stack.append(self.binary.instrs[frame.ret_index].addr)
+        return stack
+
+    # -- execution -----------------------------------------------------------
+    def run(self, args: Sequence[int] = ()) -> MachineExecutionResult:
+        binary = self.binary
+        instrs = binary.instrs
+        addr_index = binary._addr_to_index
+        result = MachineExecutionResult()
+        pmu = self.pmu
+        cost = self.cost_model
+
+        entry = binary.symbols[binary.entry_function]
+        frame = Frame(entry.name, None, None)
+        self._init_frame(frame, entry, list(args))
+        self.frames.append(frame)
+        idx = addr_index[entry.entry_addr]
+
+        retired = 0
+        max_instructions = self.max_instructions
+        frames = self.frames
+        globals_mem = self.globals
+
+        while True:
+            instr = instrs[idx]
+            kind = instr.kind
+            self._cur_ip = instr.addr
+            regs = frame.regs
+            next_idx = idx + 1
+            taken_target: Optional[int] = None
+
+            if kind == "binop":
+                a = regs[instr.a] if type(instr.a) is str else instr.a
+                b = regs[instr.b] if type(instr.b) is str else instr.b
+                regs[instr.dst] = eval_binop(instr.op, a, b)
+            elif kind == "cmp":
+                a = regs[instr.a] if type(instr.a) is str else instr.a
+                b = regs[instr.b] if type(instr.b) is str else instr.b
+                regs[instr.dst] = eval_cmp(instr.op, a, b)
+            elif kind == "mov":
+                a = regs[instr.a] if type(instr.a) is str else instr.a
+                regs[instr.dst] = a
+            elif kind == "br":
+                cond = regs[instr.a] if type(instr.a) is str else instr.a
+                jump = (not cond) if instr.negated else bool(cond)
+                if jump:
+                    taken_target = instr.target_addr
+                    next_idx = addr_index[taken_target]
+                if cost is not None:
+                    cost.on_branch(instr.addr, bool(jump))
+            elif kind == "jmp":
+                taken_target = instr.target_addr
+                next_idx = addr_index[taken_target]
+            elif kind == "select":
+                cond = regs[instr.a] if type(instr.a) is str else instr.a
+                tval = regs[instr.b] if type(instr.b) is str else instr.b
+                fval = regs[instr.c] if type(instr.c) is str else instr.c
+                regs[instr.dst] = tval if cond else fval
+            elif kind == "load":
+                index = regs[instr.b] if type(instr.b) is str else instr.b
+                array = frame.locals.get(instr.a)
+                if array is None:
+                    array = globals_mem[instr.a]
+                regs[instr.dst] = array[wrap_index(index, len(array))]
+            elif kind == "store":
+                index = regs[instr.b] if type(instr.b) is str else instr.b
+                value = regs[instr.c] if type(instr.c) is str else instr.c
+                array = frame.locals.get(instr.a)
+                if array is None:
+                    array = globals_mem[instr.a]
+                array[wrap_index(index, len(array))] = value
+            elif kind == "spill_ld":
+                regs[instr.dst] = frame.slots.get(instr.a, regs.get(instr.dst, 0))
+            elif kind == "spill_st":
+                src = regs[instr.b] if type(instr.b) is str else instr.b
+                frame.slots[instr.a] = src
+            elif kind == "call":
+                if pmu is not None:
+                    pmu.on_branch(instr.addr, instr.target_addr)
+                values = [regs[a] if type(a) is str else a for a in instr.args]
+                callee = binary.symbols[instr.a]
+                new_frame = Frame(callee.name, next_idx, instr.dst)
+                self._init_frame(new_frame, callee, values)
+                frames.append(new_frame)
+                frame = new_frame
+                taken_target = instr.target_addr
+                next_idx = addr_index[taken_target]
+            elif kind == "tailcall":
+                if pmu is not None:
+                    pmu.on_branch(instr.addr, instr.target_addr)
+                values = [regs[a] if type(a) is str else a for a in instr.args]
+                callee = binary.symbols[instr.a]
+                # Frame replacement: the current frame disappears; the callee
+                # returns directly to our caller.
+                new_frame = Frame(callee.name, frame.ret_index, frame.ret_dst)
+                self._init_frame(new_frame, callee, values)
+                frames[-1] = new_frame
+                frame = new_frame
+                taken_target = instr.target_addr
+                next_idx = addr_index[taken_target]
+            elif kind == "ret":
+                value = regs[instr.a] if type(instr.a) is str else instr.a
+                if value is None:
+                    value = 0
+                ret_index = frame.ret_index
+                ret_dst = frame.ret_dst
+                retired += 1
+                result.taken_branches += 1
+                if pmu is not None and ret_index is not None:
+                    # Record pre-pop so a skidding stack still shows the
+                    # callee frame (the lag PEBS eliminates).
+                    pmu.on_branch(instr.addr, instrs[ret_index].addr)
+                frames.pop()
+                if cost is not None:
+                    cost.on_retire(instr, instrs[ret_index].addr
+                                   if ret_index is not None else None)
+                if not frames:
+                    result.return_value = value
+                    result.instructions_retired = retired
+                    return result
+                frame = frames[-1]
+                if ret_dst is not None:
+                    frame.regs[ret_dst] = value
+                if pmu is not None:
+                    # Post-transfer state: IP at the resumption point.
+                    self._cur_ip = instrs[ret_index].addr
+                    pmu.on_retire(instr.addr)
+                idx = ret_index
+                continue
+            elif kind == "count":
+                result.instr_counters[(instr.a, instr.b)] += 1
+            elif kind == "nop":
+                pass
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown machine instruction {kind}")
+
+            retired += 1
+            if retired > max_instructions:
+                raise MachineExecutionLimit(
+                    f"retired > {max_instructions} instructions")
+            if taken_target is not None:
+                result.taken_branches += 1
+                if pmu is not None and kind in ("br", "jmp"):
+                    pmu.on_branch(instr.addr, taken_target)
+            if pmu is not None:
+                # Sample at the post-transfer state so PEBS stacks align with
+                # the last LBR entry's target frame (paper sec. III.B).
+                self._cur_ip = instrs[next_idx].addr
+                pmu.on_retire(instr.addr)
+            if cost is not None:
+                cost.on_retire(instr, taken_target)
+            idx = next_idx
+
+    def _init_frame(self, frame: Frame, symbol, values: List[int]) -> None:
+        for param, value in zip(symbol.params, values):
+            frame.regs[param] = value
+        for param in symbol.params[len(values):]:
+            frame.regs[param] = 0
+        if symbol.local_arrays:
+            frame.locals = {name: [0] * size
+                            for name, size in symbol.local_arrays.items()}
+
+
+def execute(binary: Binary, args: Sequence[int] = (),
+            pmu: Optional[PMU] = None, cost_model=None,
+            max_instructions: int = 50_000_000) -> MachineExecutionResult:
+    """Convenience wrapper: run ``binary`` from its entry function."""
+    executor = MachineExecutor(binary, max_instructions, pmu, cost_model)
+    if pmu is not None and pmu._stack_walker is _PLACEHOLDER_WALKER:
+        pmu._stack_walker = executor.walk_stack
+    return executor.run(args)
+
+
+def _PLACEHOLDER_WALKER() -> List[int]:  # pragma: no cover - sentinel
+    return []
+
+
+def make_pmu(config) -> PMU:
+    """Create a PMU not yet bound to an executor; :func:`execute` binds it."""
+    return PMU(config, _PLACEHOLDER_WALKER)

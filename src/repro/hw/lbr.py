@@ -1,0 +1,33 @@
+"""Last Branch Record: the PMU's taken-branch ring buffer.
+
+Models Intel's LBR facility (paper sec. III.B): a fixed-depth ring of
+(source, target) address pairs for retired taken branches — conditional
+branches that were taken, unconditional jumps, calls, and returns.
+Not-taken conditional branches do not enter the ring.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Tuple
+
+
+class LBRStack:
+    """Fixed-depth ring buffer of taken-branch records."""
+
+    def __init__(self, depth: int = 16):
+        self.depth = depth
+        self._ring: Deque[Tuple[int, int]] = deque(maxlen=depth)
+
+    def record(self, source: int, target: int) -> None:
+        self._ring.append((source, target))
+
+    def snapshot(self) -> List[Tuple[int, int]]:
+        """Current contents, oldest first."""
+        return list(self._ring)
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    def __len__(self) -> int:
+        return len(self._ring)

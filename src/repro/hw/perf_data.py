@@ -1,0 +1,49 @@
+"""Sample containers: what ``perf record`` would have produced.
+
+A :class:`PerfSample` is one PMU interrupt's payload: the LBR snapshot (16 or
+32 source/target pairs of the most recent taken branches, oldest first) plus
+the synchronized call-stack sample (leaf first), exactly the pairing the
+paper's profiler consumes (Fig. 5, ``perf record -g --call-graph fp -e
+br_inst_retired.near_taken:upp``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+class PerfSample:
+    """One synchronized LBR + call-stack sample."""
+
+    __slots__ = ("lbr", "stack", "ip")
+
+    def __init__(self, lbr: Sequence[Tuple[int, int]], stack: Sequence[int],
+                 ip: int):
+        #: Taken-branch (source, target) pairs, oldest first.
+        self.lbr: Tuple[Tuple[int, int], ...] = tuple(lbr)
+        #: Call-stack addresses, leaf first (stack[0] is the sampled IP's
+        #: frame; deeper entries are return addresses in callers).
+        self.stack: Tuple[int, ...] = tuple(stack)
+        #: The sampled instruction pointer.
+        self.ip = ip
+
+
+class PerfData:
+    """A full profiling session: all samples plus collection metadata."""
+
+    def __init__(self, period: int, lbr_depth: int, pebs: bool):
+        self.period = period
+        self.lbr_depth = lbr_depth
+        self.pebs = pebs
+        self.samples: List[PerfSample] = []
+        self.instructions_retired = 0
+
+    def add(self, sample: PerfSample) -> None:
+        self.samples.append(sample)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __repr__(self) -> str:
+        return (f"<PerfData {len(self.samples)} samples, period={self.period}, "
+                f"pebs={self.pebs}>")

@@ -1,0 +1,77 @@
+"""PMU sampling: period counting, LBR snapshots, synchronized stack samples,
+and the skid behaviour PEBS fixes.
+
+The paper (sec. III.B) reconstructs calling contexts from *synchronized* LBR
+and stack samples and notes that without PEBS "stack sample can sometimes lag
+behind LBR sample by one frame".  We model that skid directly: in non-PEBS
+mode the stack snapshot delivered with a sample is the stack as it was
+*before* the most recent control transfer retired, so whenever the last LBR
+entry is a call or return the stack is off by one frame.  With ``pebs=True``
+the snapshot is taken at the sampled instruction exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Tuple
+
+from .lbr import LBRStack
+from .perf_data import PerfData, PerfSample
+
+
+class PMUConfig:
+    """Sampling configuration (defaults mirror the paper's setup)."""
+
+    def __init__(self, period: int = 97, lbr_depth: int = 16,
+                 pebs: bool = True, jitter_seed: int = 12345):
+        # A prime period avoids phase-locking with loop bodies, like the
+        # randomization production profilers apply.
+        self.period = period
+        self.lbr_depth = lbr_depth
+        self.pebs = pebs
+        self.jitter_seed = jitter_seed
+
+
+class PMU:
+    """Performance monitoring unit attached to the executor.
+
+    The executor calls :meth:`on_branch` for every retired taken branch and
+    :meth:`on_retire` for every retired instruction; the PMU fires a sample
+    every ``period`` instructions (with a little seeded jitter).
+    """
+
+    def __init__(self, config: PMUConfig,
+                 stack_walker: Callable[[], List[int]]):
+        self.config = config
+        self.lbr = LBRStack(config.lbr_depth)
+        self.data = PerfData(config.period, config.lbr_depth, config.pebs)
+        self._stack_walker = stack_walker
+        self._rng = random.Random(config.jitter_seed)
+        self._until_sample = self._next_period()
+        #: Stack snapshot from before the most recent control transfer —
+        #: what a skidding (non-PEBS) sample would deliver.
+        self._lagged_stack: List[int] = []
+
+    def _next_period(self) -> int:
+        jitter = self._rng.randint(0, max(1, self.config.period // 8))
+        return self.config.period + jitter
+
+    def on_branch(self, source: int, target: int) -> None:
+        # Capture the pre-transfer stack for skid modeling, then record.
+        self._lagged_stack = self._stack_walker()
+        self.lbr.record(source, target)
+
+    def on_retire(self, ip: int) -> None:
+        self._until_sample -= 1
+        if self._until_sample > 0:
+            return
+        self._until_sample = self._next_period()
+        if self.config.pebs:
+            stack = self._stack_walker()
+        else:
+            stack = self._lagged_stack or self._stack_walker()
+        self.data.add(PerfSample(self.lbr.snapshot(), stack, ip))
+
+    def finish(self, instructions_retired: int) -> PerfData:
+        self.data.instructions_retired = instructions_retired
+        return self.data

@@ -1,0 +1,7 @@
+"""Profile inference (the Profi-equivalent flow smoothing)."""
+
+from .flow import (CONSERVATION_WEIGHT, infer_function_counts,
+                   infer_module_counts)
+
+__all__ = ["CONSERVATION_WEIGHT", "infer_function_counts",
+           "infer_module_counts"]

@@ -1,0 +1,134 @@
+"""CFG analyses: predecessors, reverse post-order, dominators, natural loops.
+
+These are the minimum analyses the optimization passes need.  They are
+recomputed on demand (the IR is small enough that caching would only add
+invalidation bugs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from .function import BasicBlock, Function
+
+
+def successors_map(fn: Function) -> Dict[str, List[str]]:
+    return {b.label: b.successors() for b in fn.blocks}
+
+
+def predecessors_map(fn: Function) -> Dict[str, List[str]]:
+    preds: Dict[str, List[str]] = {b.label: [] for b in fn.blocks}
+    for block in fn.blocks:
+        for succ in block.successors():
+            preds[succ].append(block.label)
+    return preds
+
+
+def reverse_post_order(fn: Function) -> List[str]:
+    """Labels of reachable blocks in reverse post-order from the entry."""
+    visited: Set[str] = set()
+    order: List[str] = []
+
+    def visit(label: str) -> None:
+        stack = [(label, iter(fn.block(label).successors()))]
+        visited.add(label)
+        while stack:
+            current, succs = stack[-1]
+            advanced = False
+            for succ in succs:
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, iter(fn.block(succ).successors())))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(current)
+                stack.pop()
+
+    visit(fn.entry.label)
+    order.reverse()
+    return order
+
+
+def reachable_blocks(fn: Function) -> Set[str]:
+    return set(reverse_post_order(fn))
+
+
+def dominators(fn: Function) -> Dict[str, Set[str]]:
+    """Classic iterative dominator sets (block label -> set of dominators)."""
+    rpo = reverse_post_order(fn)
+    preds = predecessors_map(fn)
+    all_blocks = set(rpo)
+    dom: Dict[str, Set[str]] = {label: set(all_blocks) for label in rpo}
+    entry = fn.entry.label
+    dom[entry] = {entry}
+    changed = True
+    while changed:
+        changed = False
+        for label in rpo:
+            if label == entry:
+                continue
+            pred_doms = [dom[p] for p in preds[label] if p in all_blocks]
+            new = set.intersection(*pred_doms) if pred_doms else set()
+            new.add(label)
+            if new != dom[label]:
+                dom[label] = new
+                changed = True
+    return dom
+
+
+class Loop:
+    """A natural loop: header plus body block labels (header included)."""
+
+    __slots__ = ("header", "body", "latches")
+
+    def __init__(self, header: str, body: Set[str], latches: Set[str]):
+        self.header = header
+        self.body = body
+        self.latches = latches
+
+    def __repr__(self) -> str:
+        return f"<Loop header={self.header} blocks={sorted(self.body)}>"
+
+
+def natural_loops(fn: Function) -> List[Loop]:
+    """Find natural loops via back edges (tail dominated by head).
+
+    Loops sharing a header are merged, matching LLVM's LoopInfo behaviour.
+    """
+    dom = dominators(fn)
+    preds = predecessors_map(fn)
+    reachable = set(dom)
+    loops: Dict[str, Loop] = {}
+    for block in fn.blocks:
+        if block.label not in reachable:
+            continue
+        for succ in block.successors():
+            if succ in dom[block.label]:  # back edge block -> succ
+                header = succ
+                body: Set[str] = {header, block.label}
+                worklist = [block.label]
+                while worklist:
+                    current = worklist.pop()
+                    if current == header:
+                        continue
+                    for pred in preds[current]:
+                        if pred not in body and pred in reachable:
+                            body.add(pred)
+                            worklist.append(pred)
+                if header in loops:
+                    loops[header].body |= body
+                    loops[header].latches.add(block.label)
+                else:
+                    loops[header] = Loop(header, body, {block.label})
+    return list(loops.values())
+
+
+def loop_exits(fn: Function, loop: Loop) -> List[Tuple[str, str]]:
+    """Edges (from_label, to_label) leaving the loop body."""
+    exits = []
+    for label in loop.body:
+        for succ in fn.block(label).successors():
+            if succ not in loop.body:
+                exits.append((label, succ))
+    return exits

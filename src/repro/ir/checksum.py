@@ -1,0 +1,49 @@
+"""CFG-shape checksums for pseudo-probe profile matching (paper sec. III.A).
+
+The paper mitigates *source drift* by persisting "a checksum reflecting the
+shape of the IR control-flow graph" in the profile: CFG-altering source edits
+invalidate the profile (detected as a checksum mismatch), while edits that do
+not change the CFG — adding a comment, shifting line numbers — leave the
+checksum intact and the probe-based profile remains fully usable.
+
+The checksum therefore hashes only *structure*: the reachable blocks in a
+canonical order, their branch shapes, call targets, and probe ids — never
+source lines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from .cfg import reverse_post_order
+from .function import Function
+from .instructions import Call, CondBr, PseudoProbe, Ret
+
+
+def cfg_checksum(fn: Function) -> int:
+    """64-bit checksum of the function's CFG shape.
+
+    Hashes, per reachable block in RPO: the probe ids placed in the block,
+    the callee names of its calls, and the indices of its successors.  Line
+    numbers and register names are deliberately excluded so that non-CFG source
+    drift leaves the checksum unchanged.
+    """
+    rpo = reverse_post_order(fn)
+    index = {label: i for i, label in enumerate(rpo)}
+    hasher = hashlib.md5()
+    for label in rpo:
+        block = fn.block(label)
+        hasher.update(str(index[label]).encode())
+        for instr in block.instrs:
+            if isinstance(instr, PseudoProbe) and not instr.inline_stack:
+                hasher.update(b"p%d" % instr.probe_id)
+            elif isinstance(instr, Call):
+                hasher.update(b"c" + instr.callee.encode())
+            elif isinstance(instr, CondBr):
+                hasher.update(b"?")
+            elif isinstance(instr, Ret):
+                hasher.update(b"r")
+        for succ in block.successors():
+            hasher.update(str(index.get(succ, -1)).encode())
+        hasher.update(b"|")
+    return int.from_bytes(hasher.digest()[:8], "little")

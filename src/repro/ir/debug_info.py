@@ -1,0 +1,97 @@
+"""Debug-location model (a DWARF-like source attribution for IR and machine code).
+
+Sampling-based PGO (AutoFDO) correlates binary samples back to source using
+debug locations: a source line, a discriminator distinguishing multiple paths
+on the same line, and an inline stack recording the chain of call sites through
+which an instruction was inlined.  The paper (sec. II.A, III.A) attributes most
+of AutoFDO's profile-quality loss to optimizations degrading exactly this
+information, which is why this module models it explicitly rather than as an
+opaque tag.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+
+class InlineSite:
+    """One frame of an inline stack: ``callee`` was inlined at ``line`` of caller.
+
+    ``callsite_line`` is the source line of the call instruction in the
+    (transitive) caller; ``callee`` is the name of the function whose body the
+    instruction originally came from.  A full inline stack is an outermost-first
+    tuple of these sites, mirroring DWARF's DW_TAG_inlined_subroutine chain.
+    """
+
+    __slots__ = ("callee", "callsite_line", "callsite_discriminator")
+
+    def __init__(self, callee: str, callsite_line: int, callsite_discriminator: int = 0):
+        self.callee = callee
+        self.callsite_line = callsite_line
+        self.callsite_discriminator = callsite_discriminator
+
+    def key(self) -> Tuple[str, int, int]:
+        return (self.callee, self.callsite_line, self.callsite_discriminator)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, InlineSite) and self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        return f"InlineSite({self.callee!r}@{self.callsite_line}.{self.callsite_discriminator})"
+
+
+class DebugLoc:
+    """A source location: function-relative line, discriminator, inline stack.
+
+    Lines are *function relative offsets* (AutoFDO's trick to survive code
+    motion of whole functions within a file), starting at 1 for the first
+    statement of the function.  ``inline_stack`` is outermost-first; empty for
+    code still attributed to its lexical function.
+    """
+
+    __slots__ = ("line", "discriminator", "inline_stack")
+
+    def __init__(
+        self,
+        line: int,
+        discriminator: int = 0,
+        inline_stack: Tuple[InlineSite, ...] = (),
+    ):
+        self.line = line
+        self.discriminator = discriminator
+        self.inline_stack = tuple(inline_stack)
+
+    def key(self) -> tuple:
+        return (self.line, self.discriminator, tuple(s.key() for s in self.inline_stack))
+
+    def with_line(self, line: int) -> "DebugLoc":
+        return DebugLoc(line, self.discriminator, self.inline_stack)
+
+    def with_discriminator(self, disc: int) -> "DebugLoc":
+        return DebugLoc(self.line, disc, self.inline_stack)
+
+    def pushed_into(self, site: InlineSite) -> "DebugLoc":
+        """Return the location after inlining: ``site`` is prepended outermost."""
+        return DebugLoc(self.line, self.discriminator, (site,) + self.inline_stack)
+
+    def leaf_function(self, root: str) -> str:
+        """Name of the function this location lexically belongs to."""
+        if self.inline_stack:
+            return self.inline_stack[-1].callee
+        return root
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DebugLoc) and self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        stack = "".join(f"@{s.callee}:{s.callsite_line}" for s in self.inline_stack)
+        return f"!{self.line}.{self.discriminator}{stack}"
+
+
+UNKNOWN_LOC: Optional[DebugLoc] = None

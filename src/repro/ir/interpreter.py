@@ -1,0 +1,135 @@
+"""Reference IR interpreter.
+
+Executes a :class:`~repro.ir.function.Module` directly at the IR level.  This
+is the *semantic oracle*: the machine-level executor in :mod:`repro.hw` must
+produce identical results for the same program and inputs, which the test
+suite checks by differential testing.  It also collects exact per-block
+execution counts, used as ground truth in profile-quality tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .function import Function, Module
+from .instructions import (Assign, BinOp, Br, Call, Cmp, CondBr,
+                           InstrProfIncrement, Load, PseudoProbe, Ret, Select,
+                           Store)
+from .semantics import eval_binop, eval_cmp, wrap_index
+
+
+class ExecutionLimitExceeded(Exception):
+    """Raised when an execution exceeds the configured step budget."""
+
+
+class IRExecutionResult:
+    """Outcome of one IR-level execution."""
+
+    def __init__(self) -> None:
+        self.return_value: Optional[int] = None
+        self.steps = 0
+        #: Exact execution count per (function, block label).
+        self.block_counts: Counter = Counter()
+        #: Exact taken count per (function, from_label, to_label) CFG edge.
+        self.edge_counts: Counter = Counter()
+        #: Counter values from InstrProfIncrement intrinsics: (func, id) -> count.
+        self.instr_counters: Counter = Counter()
+        #: Call counts per (caller, caller_block, callee).
+        self.call_counts: Counter = Counter()
+
+
+class IRInterpreter:
+    """Interprets IR modules with a step budget and bounded call stack."""
+
+    def __init__(self, module: Module, max_steps: int = 10_000_000,
+                 max_call_depth: int = 256):
+        self.module = module
+        self.max_steps = max_steps
+        self.max_call_depth = max_call_depth
+        self.globals: Dict[str, List[int]] = {
+            name: [0] * size for name, size in module.global_arrays.items()}
+
+    def run(self, args: Sequence[int] = (), entry: Optional[str] = None) -> IRExecutionResult:
+        result = IRExecutionResult()
+        entry_name = entry or self.module.entry_function
+        result.return_value = self._call(self.module.function(entry_name),
+                                         list(args), result, depth=0)
+        return result
+
+    def _call(self, fn: Function, args: List[int], result: IRExecutionResult,
+              depth: int) -> Optional[int]:
+        if depth > self.max_call_depth:
+            raise ExecutionLimitExceeded(f"call depth > {self.max_call_depth}")
+        regs: Dict[str, int] = {}
+        for param, value in zip(fn.params, args):
+            regs[param] = value
+        for param in fn.params[len(args):]:
+            regs[param] = 0
+        locals_mem: Dict[str, List[int]] = {
+            name: [0] * size for name, size in fn.local_arrays.items()}
+
+        def value_of(operand) -> int:
+            if isinstance(operand, str):
+                return regs.get(operand, 0)
+            return operand
+
+        def array_of(name: str) -> List[int]:
+            if name in locals_mem:
+                return locals_mem[name]
+            return self.globals[name]
+
+        block = fn.entry
+        prev_label: Optional[str] = None
+        while True:
+            result.block_counts[(fn.name, block.label)] += 1
+            if prev_label is not None:
+                result.edge_counts[(fn.name, prev_label, block.label)] += 1
+            for instr in block.instrs:
+                result.steps += 1
+                if result.steps > self.max_steps:
+                    raise ExecutionLimitExceeded(f"steps > {self.max_steps}")
+                if isinstance(instr, Assign):
+                    regs[instr.dst] = value_of(instr.src)
+                elif isinstance(instr, BinOp):
+                    regs[instr.dst] = eval_binop(instr.op, value_of(instr.lhs),
+                                                 value_of(instr.rhs))
+                elif isinstance(instr, Cmp):
+                    regs[instr.dst] = eval_cmp(instr.pred, value_of(instr.lhs),
+                                               value_of(instr.rhs))
+                elif isinstance(instr, Select):
+                    regs[instr.dst] = (value_of(instr.tval) if value_of(instr.cond)
+                                       else value_of(instr.fval))
+                elif isinstance(instr, Load):
+                    arr = array_of(instr.array)
+                    regs[instr.dst] = arr[wrap_index(value_of(instr.index), len(arr))]
+                elif isinstance(instr, Store):
+                    arr = array_of(instr.array)
+                    arr[wrap_index(value_of(instr.index), len(arr))] = value_of(instr.value)
+                elif isinstance(instr, Call):
+                    result.call_counts[(fn.name, block.label, instr.callee)] += 1
+                    callee = self.module.function(instr.callee)
+                    ret = self._call(callee, [value_of(a) for a in instr.args],
+                                     result, depth + 1)
+                    if instr.dst is not None:
+                        regs[instr.dst] = ret if ret is not None else 0
+                elif isinstance(instr, Br):
+                    prev_label = block.label
+                    block = fn.block(instr.target)
+                    break
+                elif isinstance(instr, CondBr):
+                    prev_label = block.label
+                    target = (instr.true_target if value_of(instr.cond)
+                              else instr.false_target)
+                    block = fn.block(target)
+                    break
+                elif isinstance(instr, Ret):
+                    return value_of(instr.value) if instr.value is not None else None
+                elif isinstance(instr, InstrProfIncrement):
+                    result.instr_counters[(instr.func_name, instr.counter_id)] += 1
+                elif isinstance(instr, PseudoProbe):
+                    pass  # zero-cost by construction
+                else:
+                    raise TypeError(f"unhandled instruction {instr!r}")
+            else:
+                raise RuntimeError(f"block {fn.name}/{block.label} fell through")

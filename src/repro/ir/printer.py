@@ -1,0 +1,27 @@
+"""Textual IR dump, for debugging and golden tests."""
+
+from __future__ import annotations
+
+from .function import Function, Module
+
+
+def print_function(fn: Function) -> str:
+    lines = [f"define {fn.name}({', '.join(fn.params)}) {{"]
+    for array, size in sorted(fn.local_arrays.items()):
+        lines.append(f"  local {array}[{size}]")
+    for block in fn.blocks:
+        count = f"  ; count={block.count:g}" if block.count is not None else ""
+        lines.append(f"{block.label}:{count}")
+        for instr in block.instrs:
+            lines.append(f"  {instr!r}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    parts = [f"; module {module.name}"]
+    for array, size in sorted(module.global_arrays.items()):
+        parts.append(f"global {array}[{size}]")
+    for name in sorted(module.functions):
+        parts.append(print_function(module.functions[name]))
+    return "\n\n".join(parts)

@@ -1,0 +1,70 @@
+"""Shared evaluation semantics for IR and machine-level interpreters.
+
+Both interpreters must agree exactly (the test suite differential-tests them),
+so the arithmetic rules live in one place:
+
+* values are 64-bit two's-complement signed integers;
+* division/remainder by zero yields 0 (a total definition so generated
+  programs cannot trap);
+* shift amounts are taken modulo 64;
+* array indices wrap modulo the array size.
+"""
+
+from __future__ import annotations
+
+_MASK = (1 << 64) - 1
+_SIGN = 1 << 63
+
+
+def to_i64(value: int) -> int:
+    """Wrap a Python int to signed 64-bit."""
+    value &= _MASK
+    return value - (1 << 64) if value & _SIGN else value
+
+
+def eval_binop(op: str, lhs: int, rhs: int) -> int:
+    if op == "add":
+        return to_i64(lhs + rhs)
+    if op == "sub":
+        return to_i64(lhs - rhs)
+    if op == "mul":
+        return to_i64(lhs * rhs)
+    if op == "sdiv":
+        if rhs == 0:
+            return 0
+        return to_i64(int(lhs / rhs))  # C-style truncating division
+    if op == "srem":
+        if rhs == 0:
+            return 0
+        return to_i64(lhs - int(lhs / rhs) * rhs)
+    if op == "and":
+        return to_i64(lhs & rhs)
+    if op == "or":
+        return to_i64(lhs | rhs)
+    if op == "xor":
+        return to_i64(lhs ^ rhs)
+    if op == "shl":
+        return to_i64(lhs << (rhs % 64))
+    if op == "ashr":
+        return to_i64(lhs >> (rhs % 64))
+    raise ValueError(f"unknown binary op {op!r}")
+
+
+def eval_cmp(pred: str, lhs: int, rhs: int) -> int:
+    if pred == "eq":
+        return int(lhs == rhs)
+    if pred == "ne":
+        return int(lhs != rhs)
+    if pred == "slt":
+        return int(lhs < rhs)
+    if pred == "sle":
+        return int(lhs <= rhs)
+    if pred == "sgt":
+        return int(lhs > rhs)
+    if pred == "sge":
+        return int(lhs >= rhs)
+    raise ValueError(f"unknown compare predicate {pred!r}")
+
+
+def wrap_index(index: int, size: int) -> int:
+    return index % size if size > 0 else 0

@@ -1,0 +1,59 @@
+"""IR structural verifier.
+
+Run after construction and between optimization passes in tests to catch
+malformed IR early: missing/misplaced terminators, dangling branch targets,
+unknown callees/arrays, and probe invariants.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .function import Function, Module
+from .instructions import Call, CondBr, Br, InstrProfIncrement, Load, PseudoProbe, Store
+
+
+class VerificationError(Exception):
+    """Raised when the IR violates a structural invariant."""
+
+
+def verify_function(fn: Function, module: Optional[Module] = None) -> None:
+    errors: List[str] = []
+    if not fn.blocks:
+        errors.append(f"{fn.name}: function has no blocks")
+    labels = {b.label for b in fn.blocks}
+    if len(labels) != len(fn.blocks):
+        errors.append(f"{fn.name}: duplicate block labels")
+    for block in fn.blocks:
+        if not block.instrs:
+            errors.append(f"{fn.name}/{block.label}: empty block")
+            continue
+        if not block.instrs[-1].is_terminator:
+            errors.append(f"{fn.name}/{block.label}: does not end with a terminator")
+        for i, instr in enumerate(block.instrs):
+            if instr.is_terminator and i != len(block.instrs) - 1:
+                errors.append(f"{fn.name}/{block.label}: terminator mid-block at {i}")
+            if isinstance(instr, (Br, CondBr)):
+                for target in block.successors():
+                    if target not in labels:
+                        errors.append(f"{fn.name}/{block.label}: branch to unknown block {target}")
+            if isinstance(instr, (Load, Store)):
+                known = instr.array in fn.local_arrays or (
+                    module is not None and instr.array in module.global_arrays)
+                if module is not None and not known:
+                    errors.append(f"{fn.name}/{block.label}: unknown array {instr.array}")
+            if isinstance(instr, Call) and module is not None:
+                if not module.has_function(instr.callee):
+                    errors.append(f"{fn.name}/{block.label}: call to unknown function {instr.callee}")
+            if isinstance(instr, PseudoProbe) and instr.guid != fn.guid and not instr.inline_stack:
+                errors.append(
+                    f"{fn.name}/{block.label}: top-level probe with foreign guid {instr.guid:x}")
+    if errors:
+        raise VerificationError("; ".join(errors))
+
+
+def verify_module(module: Module) -> None:
+    if module.entry_function not in module.functions:
+        raise VerificationError(f"entry function {module.entry_function} not defined")
+    for fn in module.functions.values():
+        verify_function(fn, module)

@@ -1,0 +1,172 @@
+"""Local constant propagation and branch folding.
+
+After context-guided inlining, dispatcher-style callees receive constant
+selectors (``dispatch(3, x)``), so their selection branches become constant:
+folding them deletes the untaken side entirely — the strongest form of the
+specialization that context-sensitive inlining enables.
+
+Constants flow through ``mov``/``binop``/``cmp``/``select`` chains and across
+CFG edges (forward dataflow, intersection meet at joins); constant
+conditional branches are rewritten to unconditional ones and the untaken
+sides become unreachable.  Disabled by default in :class:`OptConfig`
+(``enable_constprop``) so the calibrated pipeline of the headline benches is
+unchanged; the specialization ablation bench and tests exercise it
+explicitly.
+
+Profile maintenance: folding a branch does not change any surviving block's
+execution frequency, so annotated counts are kept as-is; removing the dead
+side is handled by the unreachable-block cleanup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ir.function import Function, Module
+from ..ir.instructions import (Assign, BinOp, Br, Cmp, CondBr, Instr,
+                               PseudoProbe, Select)
+from ..ir.semantics import eval_binop, eval_cmp
+from .pass_manager import OptConfig
+from .simplify_cfg import remove_unreachable_blocks
+
+
+def _const_of(operand, constants: Dict[str, int]) -> Optional[int]:
+    if isinstance(operand, int):
+        return operand
+    return constants.get(operand)
+
+
+def constprop_block(block, constants: Optional[Dict[str, int]] = None) -> int:
+    """Fold constants within one block (seeded with the incoming state);
+    returns the number of rewrites."""
+    constants = dict(constants) if constants is not None else {}
+    rewrites = 0
+    for index, instr in enumerate(block.instrs):
+        if isinstance(instr, Assign):
+            value = _const_of(instr.src, constants)
+            if value is not None:
+                constants[instr.dst] = value
+                continue
+        elif isinstance(instr, BinOp):
+            lhs = _const_of(instr.lhs, constants)
+            rhs = _const_of(instr.rhs, constants)
+            if lhs is not None and rhs is not None:
+                folded = eval_binop(instr.op, lhs, rhs)
+                block.instrs[index] = Assign(instr.dst, folded, instr.dloc)
+                constants[instr.dst] = folded
+                rewrites += 1
+                continue
+        elif isinstance(instr, Cmp):
+            lhs = _const_of(instr.lhs, constants)
+            rhs = _const_of(instr.rhs, constants)
+            if lhs is not None and rhs is not None:
+                folded = eval_cmp(instr.pred, lhs, rhs)
+                block.instrs[index] = Assign(instr.dst, folded, instr.dloc)
+                constants[instr.dst] = folded
+                rewrites += 1
+                continue
+        elif isinstance(instr, Select):
+            cond = _const_of(instr.cond, constants)
+            if cond is not None:
+                chosen = instr.tval if cond else instr.fval
+                block.instrs[index] = Assign(instr.dst, chosen, instr.dloc)
+                value = _const_of(chosen, constants)
+                if value is not None:
+                    constants[instr.dst] = value
+                rewrites += 1
+                continue
+        elif isinstance(instr, CondBr):
+            cond = _const_of(instr.cond, constants)
+            if cond is not None:
+                target = instr.true_target if cond else instr.false_target
+                block.instrs[index] = Br(target, instr.dloc)
+                rewrites += 1
+                continue
+        # Any other definition invalidates the register's known constant.
+        defined = instr.defined()
+        if defined is not None:
+            constants.pop(defined, None)
+    return rewrites
+
+
+def _transfer(block, constants: Dict[str, int]) -> Dict[str, int]:
+    """Abstract execution of ``block``: the constant state at its exit."""
+    state = dict(constants)
+    for instr in block.instrs:
+        if isinstance(instr, Assign):
+            value = _const_of(instr.src, state)
+        elif isinstance(instr, BinOp):
+            lhs = _const_of(instr.lhs, state)
+            rhs = _const_of(instr.rhs, state)
+            value = (eval_binop(instr.op, lhs, rhs)
+                     if lhs is not None and rhs is not None else None)
+        elif isinstance(instr, Cmp):
+            lhs = _const_of(instr.lhs, state)
+            rhs = _const_of(instr.rhs, state)
+            value = (eval_cmp(instr.pred, lhs, rhs)
+                     if lhs is not None and rhs is not None else None)
+        elif isinstance(instr, Select):
+            cond = _const_of(instr.cond, state)
+            value = (_const_of(instr.tval if cond else instr.fval, state)
+                     if cond is not None else None)
+        else:
+            value = None
+        defined = instr.defined()
+        if defined is not None:
+            if value is not None:
+                state[defined] = value
+            else:
+                state.pop(defined, None)
+    return state
+
+
+def constprop_function(fn: Function) -> int:
+    """Forward constant dataflow over the CFG, then per-block rewriting.
+
+    The meet over CFG joins is intersection-with-agreement: a register is
+    constant at a block entry only if every predecessor exits with the same
+    value for it.  Loops converge because states only shrink at joins.
+    """
+    from ..ir.cfg import predecessors_map, reverse_post_order
+
+    rpo = reverse_post_order(fn)
+    preds = predecessors_map(fn)
+    in_states: Dict[str, Optional[Dict[str, int]]] = {
+        label: None for label in rpo}  # None = not yet reached
+    in_states[fn.entry.label] = {}
+    # Terminates: reachability only grows, and a reached state only shrinks
+    # (intersection meet), both finite.
+    changed = True
+    while changed:
+        changed = False
+        for label in rpo:
+            incoming = in_states[label]
+            if incoming is None:
+                continue
+            out_state = _transfer(fn.block(label), incoming)
+            for succ in fn.block(label).successors():
+                if succ not in in_states:
+                    continue
+                current = in_states[succ]
+                if current is None:
+                    in_states[succ] = dict(out_state)
+                    changed = True
+                else:
+                    merged = {reg: val for reg, val in current.items()
+                              if out_state.get(reg) == val}
+                    if merged != current:
+                        in_states[succ] = merged
+                        changed = True
+
+    rewrites = 0
+    for label in rpo:
+        incoming = in_states.get(label)
+        rewrites += constprop_block(fn.block(label), incoming or {})
+    if rewrites:
+        remove_unreachable_blocks(fn)
+    return rewrites
+
+
+def constprop(module: Module, config: Optional[OptConfig] = None) -> None:
+    for fn in module.functions.values():
+        constprop_function(fn)

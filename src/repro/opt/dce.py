@@ -1,0 +1,42 @@
+"""Dead code elimination.
+
+Removes side-effect-free instructions whose destination register is never
+used anywhere in the function.  The IR is not SSA, so "never used" is the
+conservative function-wide criterion; iterating to a fixpoint still removes
+chains of dead computations.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..ir.function import Function, Module
+from .pass_manager import OptConfig
+
+
+def dce_function(fn: Function) -> int:
+    removed_total = 0
+    while True:
+        uses: Counter = Counter()
+        for instr in fn.instructions():
+            for reg in instr.uses():
+                uses[reg] += 1
+        removed = 0
+        for block in fn.blocks:
+            kept = []
+            for instr in block.instrs:
+                defined = instr.defined()
+                if (defined is not None and not instr.has_side_effects
+                        and not instr.is_terminator and uses[defined] == 0):
+                    removed += 1
+                    continue
+                kept.append(instr)
+            block.instrs = kept
+        removed_total += removed
+        if removed == 0:
+            return removed_total
+
+
+def dce(module: Module, config: OptConfig = None) -> None:
+    for fn in module.functions.values():
+        dce_function(fn)

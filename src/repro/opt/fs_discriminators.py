@@ -1,0 +1,59 @@
+"""FS-AutoFDO discriminator assignment (paper sec. IV.A and [21]).
+
+FS-AutoFDO multiplexes a single sampled profile into *late-stage* profiles by
+giving duplicated instructions distinct DWARF discriminators: after the
+optimizer has cloned code (unrolling, jump threading, inlining-created
+copies), every instruction that shares a source line with instructions in
+other blocks receives a discriminator identifying its block.  Sampled counts
+keyed by (line, discriminator) can then be re-annotated *onto the optimized
+CFG*, fixing the max-heuristic undercount that plain AutoFDO suffers on
+duplicated code.
+
+The catch — and the reason the paper's production deployment rejected
+FS-AutoFDO — is *stability*: the assignment depends on the optimized CFG
+shape, so "profile and code generation [must be] very stable between
+iterations".  If the profiling build and the optimizing build diverge (a
+source edit, a different optimization decision), the same (line,
+discriminator) key names *different* code in the two builds and annotation
+degrades below plain AutoFDO.  The FS_AUTOFDO variant and its ablation bench
+reproduce both sides of that trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..ir.function import Function, Module
+from ..ir.instructions import PseudoProbe
+
+
+def assign_fs_discriminators(module: Module) -> int:
+    """Assign block-identifying discriminators to duplicated-line code.
+
+    Deterministic given the function's block order (which is itself a
+    function of the optimization decisions — the stability hazard).
+    Returns the number of instructions that received a nonzero discriminator.
+    """
+    assigned = 0
+    for fn in module.functions.values():
+        # line-key -> ordered list of block labels containing it.
+        blocks_for_line: Dict[tuple, List[str]] = {}
+        for block in fn.blocks:
+            for instr in block.instrs:
+                if instr.dloc is None or isinstance(instr, PseudoProbe):
+                    continue
+                key = (instr.dloc.line, instr.dloc.inline_stack)
+                blocks = blocks_for_line.setdefault(key, [])
+                if block.label not in blocks:
+                    blocks.append(block.label)
+        for block_index, block in enumerate(fn.blocks):
+            for instr in block.instrs:
+                if instr.dloc is None or isinstance(instr, PseudoProbe):
+                    continue
+                key = (instr.dloc.line, instr.dloc.inline_stack)
+                blocks = blocks_for_line[key]
+                if len(blocks) > 1:
+                    disc = blocks.index(block.label) + 1
+                    instr.dloc = instr.dloc.with_discriminator(disc)
+                    assigned += 1
+    return assigned

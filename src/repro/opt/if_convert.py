@@ -1,0 +1,192 @@
+"""If-conversion: turning small diamonds/triangles into straight-line selects.
+
+This is one of the control-flow optimizations the paper singles out
+(sec. III.A): blindly treating pseudo-probes as barriers would block it and
+cost performance, so CSSPGO "fine-tunes" if-convert to be *unblocked* by
+probes — probes from the folded blocks survive as **dangling** probes whose
+counts are treated as unknown by profile annotation (inference fills them in).
+Traditional instrumentation counters, by contrast, remain strong barriers
+here, one of the reasons the instrumented binary is slower.
+
+With profile, the pass converts only poorly-biased branches (where mispredicts
+make the branchy form expensive); without profile it converts every small
+diamond, matching an optimizer that lacks branch bias information.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.cfg import predecessors_map
+from ..ir.function import BasicBlock, Function, Module
+from ..ir.instructions import (Assign, BinOp, Br, Cmp, CondBr, Instr,
+                               InstrProfIncrement, Load, PseudoProbe, Select)
+from .pass_manager import OptConfig
+
+_SPECULATABLE = (Assign, BinOp, Cmp, Select, Load)
+
+
+def _side_instrs(block: BasicBlock) -> Optional[Tuple[List[Instr], List[PseudoProbe], bool]]:
+    """Classify a side block: (real speculatable instrs, probes, has_counter).
+
+    Returns None when the block contains anything that cannot be speculated.
+    """
+    real: List[Instr] = []
+    probes: List[PseudoProbe] = []
+    has_counter = False
+    for instr in block.instrs[:-1]:
+        if isinstance(instr, PseudoProbe):
+            probes.append(instr)
+        elif isinstance(instr, InstrProfIncrement):
+            has_counter = True
+        elif isinstance(instr, _SPECULATABLE):
+            real.append(instr)
+        else:
+            return None
+    return real, probes, has_counter
+
+
+def _biased(head: BasicBlock, side: Optional[BasicBlock]) -> Optional[bool]:
+    """True/False when profile says the branch is strongly/weakly biased;
+    None when no profile is annotated."""
+    if head.count is None or side is None or side.count is None:
+        return None
+    if head.count <= 0:
+        return True  # cold: leave alone
+    prob = side.count / head.count
+    return prob < 0.2 or prob > 0.8
+
+
+def if_convert_function(fn: Function, config: OptConfig) -> int:
+    converted = 0
+    changed = True
+    while changed:
+        changed = False
+        preds = predecessors_map(fn)
+        for head in fn.blocks:
+            term = head.instrs[-1]
+            if not isinstance(term, CondBr) or term.true_target == term.false_target:
+                continue
+            true_block = fn.block(term.true_target)
+            false_block = fn.block(term.false_target)
+            shape = _match_shape(fn, preds, head, true_block, false_block)
+            if shape is None:
+                continue
+            t_side, f_side, join_label = shape
+            sides = []
+            blocked = False
+            for side in (t_side, f_side):
+                if side is None:
+                    sides.append(([], [], False))
+                    continue
+                classified = _side_instrs(side)
+                if classified is None:
+                    blocked = True
+                    break
+                sides.append(classified)
+            if blocked:
+                continue
+            (t_real, t_probes, t_counter), (f_real, f_probes, f_counter) = sides
+            if t_counter or f_counter:
+                if config.instr_blocks_if_convert:
+                    continue
+            if (t_probes or f_probes) and config.probes_block_if_convert:
+                continue
+            if len(t_real) > config.if_convert_max_instrs:
+                continue
+            if len(f_real) > config.if_convert_max_instrs:
+                continue
+            # Profile-guided filter: strongly biased branches predict well,
+            # keep them as branches.
+            bias = _biased(head, t_side if t_side is not None else f_side)
+            if bias is True:
+                continue
+            _convert(fn, head, term, t_real, f_real, t_probes + f_probes, join_label)
+            for side in (t_side, f_side):
+                if side is not None and len(preds[side.label]) == 1:
+                    fn.remove_block(side.label)
+            converted += 1
+            changed = True
+            break
+    return converted
+
+
+def _match_shape(fn: Function, preds, head: BasicBlock,
+                 true_block: BasicBlock, false_block: BasicBlock):
+    """Match diamond (head->T->J, head->F->J) or triangle (head->T->J, head->J)."""
+
+    def is_simple_side(block: BasicBlock) -> bool:
+        return (block is not head and len(preds[block.label]) == 1
+                and len(block.instrs) >= 1
+                and isinstance(block.instrs[-1], Br)
+                and block.successors() != [block.label])
+
+    t_ok = is_simple_side(true_block)
+    f_ok = is_simple_side(false_block)
+    if t_ok and f_ok:
+        t_join = true_block.instrs[-1].target
+        f_join = false_block.instrs[-1].target
+        if t_join == f_join and t_join not in (true_block.label, false_block.label):
+            return true_block, false_block, t_join
+    if t_ok and not f_ok:
+        if true_block.instrs[-1].target == false_block.label:
+            return true_block, None, false_block.label
+    if f_ok and not t_ok:
+        if false_block.instrs[-1].target == true_block.label:
+            return None, false_block, true_block.label
+    return None
+
+
+def _convert(fn: Function, head: BasicBlock, term: CondBr,
+             t_real: List[Instr], f_real: List[Instr],
+             probes: List[PseudoProbe], join_label: str) -> None:
+    cond = term.cond
+    insert_at = len(head.instrs) - 1  # before the terminator
+    new_instrs: List[Instr] = []
+    base = fn.fresh_reg("ic_")
+    counter = [0]
+
+    def fresh_name() -> str:
+        counter[0] += 1
+        return f"{base}.{counter[0]}"
+
+    def speculate(instrs: List[Instr]) -> Dict[str, str]:
+        mapping: Dict[str, str] = {}
+        for instr in instrs:
+            clone = instr.clone()
+            clone.replace_uses(mapping)
+            dst = clone.defined()
+            fresh = fresh_name()
+            _set_dst(clone, fresh)
+            mapping[dst] = fresh
+            new_instrs.append(clone)
+        return mapping
+
+    t_map = speculate(t_real)
+    f_map = speculate(f_real)
+    # Dangling probes: kept for structure, counts become unknown (paper III.A).
+    for probe in probes:
+        probe.dangling = True
+        new_instrs.append(probe)
+    for reg in dict.fromkeys(list(t_map) + list(f_map)):
+        tval = t_map.get(reg, reg)
+        fval = f_map.get(reg, reg)
+        # The select inherits the true side's location (one side "wins" —
+        # a realistic debug-info degradation).
+        dloc = next((i.dloc for i in t_real if i.defined() == reg), None)
+        if dloc is None:
+            dloc = next((i.dloc for i in f_real if i.defined() == reg), None)
+        new_instrs.append(Select(reg, cond, tval, fval, dloc))
+    head.instrs[insert_at:insert_at] = new_instrs
+    head.instrs[-1] = Br(join_label, term.dloc)
+
+
+def _set_dst(instr: Instr, dst: str) -> None:
+    instr.dst = dst
+
+
+def if_convert(module: Module, config: OptConfig) -> None:
+    if not config.enable_if_convert:
+        return
+    for fn in module.functions.values():
+        if_convert_function(fn, config)

@@ -1,0 +1,274 @@
+"""Function inlining: the mechanical transform plus the bottom-up heuristic
+inliner used by the no-profile and AutoFDO builds.
+
+The transform (:func:`inline_call`) is shared by every PGO variant; what
+differs is *who decides*:
+
+* no profile — static size threshold, bottom-up over the call graph (LLVM's
+  CGSCC order);
+* AutoFDO / probe-only CSSPGO — same bottom-up order, but hot call sites
+  (by annotated counts) get a larger threshold; post-inline counts are
+  *scaled* context-insensitively (the Fig. 3a inaccuracy);
+* full CSSPGO — the pre-inliner's decisions arrive with the profile and are
+  replayed top-down by the sample loader in :mod:`repro.annotate`, which
+  re-annotates inlined bodies from context-profile slices (Fig. 3b).
+
+Debug locations and pseudo-probes of cloned instructions get the call site
+pushed onto their inline stacks, which is what lets the profiler reconstruct
+inline contexts from the final binary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from ..ir.debug_info import DebugLoc, InlineSite
+from ..ir.function import BasicBlock, Function, Module
+from ..ir.instructions import (Assign, Br, Call, Instr, PseudoProbe, Ret)
+from .pass_manager import OptConfig
+
+#: Hard cap on a caller's size (real instructions) after profile-guided
+#: inlining.
+CALLER_SIZE_LIMIT = 600
+#: Static (tiny-callee) inlining may still fire in larger functions — e.g.
+#: bodies the CSSPGO sample loader already grew — up to this cap.
+STATIC_CALLER_SIZE_LIMIT = 2000
+#: Callees larger than this are never inlined by the heuristics.
+CALLEE_SIZE_LIMIT = 200
+
+
+class InlineResult:
+    """Outcome of one :func:`inline_call`: mapping from callee block labels to
+    the labels of their clones in the caller, plus the continuation label."""
+
+    def __init__(self, block_map: Dict[str, str], continuation: str):
+        self.block_map = block_map
+        self.continuation = continuation
+
+
+def function_size(fn: Function) -> int:
+    """Static size: real (machine-lowering) instructions."""
+    return sum(1 for i in fn.instructions() if not isinstance(i, PseudoProbe))
+
+
+def inline_call(module: Module, caller: Function, block_label: str,
+                call_index: int, count_scale: Optional[float] = None) -> InlineResult:
+    """Inline the call at ``caller[block_label].instrs[call_index]``.
+
+    ``count_scale`` — when the caller is profile-annotated with a flat
+    (context-insensitive) profile, cloned blocks get ``callee_count * scale``;
+    pass ``None`` to leave clone counts unset (the context-sensitive sample
+    loader re-annotates them from the context slice).
+    """
+    block = caller.block(block_label)
+    call = block.instrs[call_index]
+    if not isinstance(call, Call):
+        raise ValueError(f"instruction {call_index} of {block_label} is not a call")
+    callee = module.function(call.callee)
+    if callee is caller:
+        raise ValueError("cannot inline a direct recursion")
+
+    serial = _next_inline_serial(caller)
+    prefix = f"inl{serial}"
+    reg_map: Dict[str, str] = {}
+
+    def map_reg(reg: str) -> str:
+        mapped = reg_map.get(reg)
+        if mapped is None:
+            mapped = f"%{prefix}.{reg[1:]}"
+            reg_map[reg] = mapped
+        return mapped
+
+    label_map: Dict[str, str] = {
+        b.label: f"{prefix}.{b.label}" for b in callee.blocks}
+
+    # Continuation: the caller block is split after the call.
+    continuation_label = f"{prefix}.cont"
+    continuation = BasicBlock(continuation_label, block.instrs[call_index + 1:])
+    continuation.count = block.count
+    block.instrs = block.instrs[:call_index]
+
+    # Inline-stack bookkeeping for DWARF and for probes.
+    call_line = call.dloc.line if call.dloc is not None else 0
+    call_disc = call.dloc.discriminator if call.dloc is not None else 0
+    dwarf_prefix = (call.dloc.inline_stack if call.dloc is not None else ()) + (
+        InlineSite(callee.name, call_line, call_disc),)
+    probe_prefix = call.probe_context()
+
+    # Argument setup replaces the call.
+    for param, arg in zip(callee.params, call.args):
+        block.instrs.append(Assign(map_reg(param), arg, call.dloc))
+    for param in callee.params[len(call.args):]:
+        block.instrs.append(Assign(map_reg(param), 0, call.dloc))
+    block.instrs.append(Br(label_map[callee.entry.label], call.dloc))
+
+    # Local arrays: cloned under renamed keys.
+    array_map: Dict[str, str] = {}
+    for array, size in callee.local_arrays.items():
+        new_name = f"{prefix}.{array}"
+        array_map[array] = new_name
+        caller.local_arrays[new_name] = size
+
+    for callee_block in callee.blocks:
+        clone = BasicBlock(label_map[callee_block.label])
+        if count_scale is not None and callee_block.count is not None:
+            clone.count = callee_block.count * count_scale
+        for instr in callee_block.instrs:
+            if isinstance(instr, Ret):
+                # Returns become: assign the call result, branch to the
+                # continuation block.
+                if call.dst is not None:
+                    value = instr.value if instr.value is not None else 0
+                    if isinstance(value, str):
+                        value = map_reg(value)
+                    clone.instrs.append(Assign(call.dst, value, call.dloc))
+                clone.instrs.append(Br(continuation_label, call.dloc))
+                continue
+            clone.instrs.append(_clone_into_caller(
+                instr, map_reg, label_map, array_map, dwarf_prefix,
+                probe_prefix))
+        caller.add_block(clone)
+    caller.add_block(continuation)
+    return InlineResult(label_map, continuation_label)
+
+
+def _clone_into_caller(instr: Instr, map_reg, label_map: Dict[str, str],
+                       array_map: Dict[str, str],
+                       dwarf_prefix: tuple, probe_prefix: tuple) -> Instr:
+    from ..ir.instructions import CondBr, Load, Store
+
+    clone = instr.clone()
+    # Registers.
+    defined = clone.defined()
+    mapping = {}
+    for reg in clone.uses():
+        mapping[reg] = map_reg(reg)
+    clone.replace_uses(mapping)
+    if defined is not None:
+        _set_dst(clone, map_reg(defined))
+    # Labels.
+    if isinstance(clone, Br):
+        clone.target = label_map[clone.target]
+    elif isinstance(clone, CondBr):
+        clone.true_target = label_map[clone.true_target]
+        clone.false_target = label_map[clone.false_target]
+    # Local arrays.
+    if isinstance(clone, (Load, Store)) and clone.array in array_map:
+        clone.array = array_map[clone.array]
+    # Debug inline stack.
+    if clone.dloc is not None:
+        clone.dloc = DebugLoc(clone.dloc.line, clone.dloc.discriminator,
+                              dwarf_prefix + clone.dloc.inline_stack)
+    # Probe inline stacks.
+    if isinstance(clone, PseudoProbe):
+        clone.inline_stack = probe_prefix + clone.inline_stack
+    elif isinstance(clone, Call):
+        clone.inline_probe_stack = probe_prefix + clone.inline_probe_stack
+    return clone
+
+
+def _set_dst(instr: Instr, dst: str) -> None:
+    instr.dst = dst
+
+
+def _next_inline_serial(caller: Function) -> int:
+    serial = 0
+    for block in caller.blocks:
+        if block.label.startswith("inl") and "." in block.label:
+            head = block.label.split(".", 1)[0][3:]
+            if head.isdigit():
+                serial = max(serial, int(head) + 1)
+    return serial
+
+
+# ---------------------------------------------------------------------------
+# Bottom-up heuristic inliner (no-profile and flat-profile builds)
+# ---------------------------------------------------------------------------
+
+
+def call_graph(module: Module) -> "nx.DiGraph":
+    graph = nx.DiGraph()
+    for fn in module.functions.values():
+        graph.add_node(fn.name)
+        for callee in fn.callees():
+            if module.has_function(callee):
+                graph.add_edge(fn.name, callee)
+    return graph
+
+
+def bottom_up_order(module: Module) -> List[str]:
+    """Callees before callers (LLVM CGSCC order), cycles broken arbitrarily."""
+    graph = call_graph(module)
+    condensation = nx.condensation(graph)
+    order: List[str] = []
+    for scc_id in reversed(list(nx.topological_sort(condensation))):
+        order.extend(sorted(condensation.nodes[scc_id]["members"]))
+    return order
+
+
+def should_inline_static(callee_size: int, config: OptConfig) -> bool:
+    return callee_size <= config.inline_size_threshold
+
+
+def should_inline_profiled(callee_size: int, callsite_count: float,
+                           summary, config: OptConfig) -> bool:
+    """Flat-profile heuristic: globally hot call sites get the big
+    threshold, cold call sites are never inlined (size discipline), and
+    lukewarm ones fall back to the static rule."""
+    if callee_size > CALLEE_SIZE_LIMIT:
+        return False
+    if summary is not None and summary.is_hot(callsite_count):
+        return callee_size <= config.inline_hot_threshold
+    if summary is not None and summary.is_cold(callsite_count):
+        return False  # cold: keep the call, save size
+    return callee_size <= config.inline_size_threshold
+
+
+def run_bottom_up_inliner(module: Module, config: OptConfig,
+                          use_profile: bool) -> int:
+    """Inline according to static or flat-profile heuristics; returns the
+    number of call sites inlined."""
+    inlined_total = 0
+    size_cap = CALLER_SIZE_LIMIT if use_profile else STATIC_CALLER_SIZE_LIMIT
+    for name in bottom_up_order(module):
+        caller = module.function(name)
+        changed = True
+        while changed and function_size(caller) < size_cap:
+            changed = False
+            for block in list(caller.blocks):
+                for idx, instr in enumerate(block.instrs):
+                    if not isinstance(instr, Call):
+                        continue
+                    if not module.has_function(instr.callee):
+                        continue
+                    callee = module.function(instr.callee)
+                    if callee is caller or callee.noinline:
+                        continue
+                    size = function_size(callee)
+                    if use_profile:
+                        callsite_count = block.count if block.count is not None else 0.0
+                        decide = should_inline_profiled(
+                            size, callsite_count, module.profile_summary,
+                            config)
+                        scale = _flat_scale(callsite_count, callee)
+                    else:
+                        decide = should_inline_static(size, config)
+                        scale = None
+                    if not decide:
+                        continue
+                    inline_call(module, caller, block.label, idx, count_scale=scale)
+                    inlined_total += 1
+                    changed = True
+                    break
+                if changed:
+                    break
+    return inlined_total
+
+
+def _flat_scale(callsite_count: float, callee: Function) -> Optional[float]:
+    """Context-insensitive scaling ratio (the Fig. 3a approximation)."""
+    if callee.entry.count is None or callee.entry.count <= 0:
+        return None
+    return min(1.0, callsite_count / callee.entry.count)

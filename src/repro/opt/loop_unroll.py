@@ -1,0 +1,97 @@
+"""Profile-guided loop unrolling.
+
+Unrolls hot self-loop ("do-while") blocks by chaining ``factor`` copies of the
+body, each re-testing the loop condition, so semantics are preserved for any
+trip count.  The win in the cost model comes from converting taken back-edges
+into fall-through between copies.
+
+This is the paper's *code duplication* hazard (sec. III.A(b)): every copy
+carries the same debug lines, so DWARF correlation — which takes the max over
+same-line instructions — undercounts by roughly the unroll factor, while
+pseudo-probes are duplicated with their ids intact and correlation *sums*
+duplicate probe counts back to an accurate total.
+
+Profile maintenance: annotated counts are divided by the unroll factor across
+the copies (the mechanical update described in sec. II.B).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..ir.function import BasicBlock, Function, Module
+from ..ir.instructions import Br, CondBr, InstrProfIncrement, PseudoProbe
+from .pass_manager import OptConfig
+
+
+def _is_self_loop(block: BasicBlock) -> Optional[str]:
+    """If the block is a do-while self loop, return the exit label."""
+    term = block.instrs[-1]
+    if not isinstance(term, CondBr):
+        return None
+    if term.true_target == block.label and term.false_target != block.label:
+        return term.false_target
+    if term.false_target == block.label and term.true_target != block.label:
+        return term.true_target
+    return None
+
+
+def _real_size(block: BasicBlock) -> int:
+    return sum(1 for i in block.instrs if not isinstance(i, PseudoProbe))
+
+
+def unroll_function(fn: Function, config: OptConfig, summary=None) -> int:
+    unrolled = 0
+    for block in list(fn.blocks):
+        exit_label = _is_self_loop(block)
+        if exit_label is None:
+            continue
+        if _real_size(block) > config.unroll_max_body_instrs:
+            continue
+        if config.instr_blocks_unroll and any(
+                isinstance(i, InstrProfIncrement) for i in block.instrs):
+            continue
+        # Only profile-identified globally-hot loops are unrolled: a cold or
+        # unknown loop is left rolled (size discipline).
+        if block.count is None:
+            continue
+        if summary is None or not summary.is_hot(block.count):
+            continue
+        _unroll_self_loop(fn, block, exit_label, config.unroll_factor)
+        unrolled += 1
+    return unrolled
+
+
+def _unroll_self_loop(fn: Function, block: BasicBlock, exit_label: str,
+                      factor: int) -> None:
+    copies: List[BasicBlock] = []
+    for i in range(factor - 1):
+        label = fn.fresh_label(f"{block.label}.unroll")
+        copy = BasicBlock(label, [instr.clone() for instr in block.instrs])
+        fn.add_block(copy, after=copies[-1].label if copies else block.label)
+        copies.append(copy)
+    # Chain: block -> copies[0] -> ... -> copies[-1] -> block
+    chain = [block] + copies
+    for i, current in enumerate(chain):
+        term = current.instrs[-1]
+        assert isinstance(term, CondBr)
+        next_label = chain[(i + 1) % len(chain)].label
+        if term.true_target == block.label or (i > 0 and term.true_target == current.label):
+            term.true_target = next_label
+            term.false_target = exit_label
+        else:
+            term.false_target = next_label
+            term.true_target = exit_label
+    # Copies were cloned from block verbatim: their self-targets still point at
+    # the original label, fixed above by matching against block.label.
+    if block.count is not None:
+        original_count = block.count
+        for current in chain:
+            current.count = original_count / factor
+
+
+def loop_unroll(module: Module, config: OptConfig) -> None:
+    if not config.enable_unroll:
+        return
+    for fn in module.functions.values():
+        unroll_function(fn, config, module.profile_summary)

@@ -1,0 +1,55 @@
+"""Standard optimization pipeline.
+
+One pipeline serves every PGO variant (the paper aligns pipelines for fair
+comparison, sec. IV.A); variants differ only in the :class:`OptConfig` knobs
+that encode what their correlation anchors permit, and in whether block counts
+were annotated before the pipeline runs.
+"""
+
+from __future__ import annotations
+
+from ..ir.function import Module
+from .constprop import constprop
+from .dce import dce
+from .dfe import dead_function_elimination
+from .if_convert import if_convert
+from .inliner import run_bottom_up_inliner
+from .layout import block_layout
+from .licm import licm
+from .loop_unroll import loop_unroll
+from .pass_manager import OptConfig
+from .simplify_cfg import simplify_cfg
+from .tail_merge import tail_merge
+
+
+def optimize_module(module: Module, config: OptConfig,
+                    profile_annotated: bool = False) -> None:
+    """Run the full mid-end + layout pipeline in a fixed order.
+
+    ``profile_annotated`` — True when block counts were annotated (by the
+    sample loader or instrumentation profile reader) before optimization; it
+    switches the inliner and unroller to their profile-guided heuristics.
+    """
+    if config.enable_simplify:
+        simplify_cfg(module, config)
+    if config.enable_inline:
+        run_bottom_up_inliner(module, config,
+                              use_profile=(profile_annotated
+                                           and config.profile_inlining))
+    if config.enable_licm:
+        licm(module, config)
+    if config.enable_if_convert:
+        if_convert(module, config)
+    if config.enable_constprop:
+        constprop(module, config)
+    if config.enable_unroll and profile_annotated:
+        loop_unroll(module, config)
+    if config.enable_tail_merge:
+        tail_merge(module, config)
+    if config.enable_dce:
+        dce(module, config)
+        dead_function_elimination(module, config)
+    if config.enable_simplify:
+        simplify_cfg(module, config)
+    if config.enable_layout:
+        block_layout(module, config)

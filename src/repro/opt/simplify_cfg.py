@@ -1,0 +1,123 @@
+"""CFG simplification: unreachable-block removal, jump forwarding, and
+straight-line block merging.
+
+Frequency-preservation rules (what makes this pass safe for *all* PGO
+variants): a block is only folded away when its execution frequency provably
+equals that of the block absorbing it.  Merging a single-successor block with
+its single-predecessor block satisfies this, so probes and counters simply
+move along.  Empty forwarding blocks are only removed when they carry no
+correlation anchors (a probe's frequency is the *edge* frequency, which no
+surviving block represents).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..ir.cfg import predecessors_map, reachable_blocks
+from ..ir.function import Function, Module
+from ..ir.instructions import Br, CondBr, Instr, PseudoProbe
+from .pass_manager import OptConfig
+
+
+def remove_unreachable_blocks(fn: Function) -> int:
+    reachable = reachable_blocks(fn)
+    removed = 0
+    for block in list(fn.blocks):
+        if block.label not in reachable:
+            fn.remove_block(block.label)
+            removed += 1
+    return removed
+
+
+def _retarget(fn: Function, old: str, new: str) -> None:
+    for block in fn.blocks:
+        term = block.instrs[-1]
+        if isinstance(term, Br) and term.target == old:
+            term.target = new
+        elif isinstance(term, CondBr):
+            if term.true_target == old:
+                term.true_target = new
+            if term.false_target == old:
+                term.false_target = new
+
+
+def fold_forwarding_blocks(fn: Function) -> int:
+    """Remove blocks that consist solely of an unconditional branch.
+
+    Blocks containing probes or counters are kept: their frequency is an edge
+    frequency that would be lost (see module docstring).
+    """
+    folded = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in list(fn.blocks):
+            if block is fn.entry:
+                continue
+            if len(block.instrs) == 1 and isinstance(block.instrs[0], Br):
+                target = block.instrs[0].target
+                if target == block.label:
+                    continue  # self loop: infinite loop block, keep
+                _retarget(fn, block.label, target)
+                fn.remove_block(block.label)
+                folded += 1
+                changed = True
+                break
+    return folded
+
+
+def canonicalize_condbr(fn: Function) -> int:
+    """Rewrite ``condbr c, X, X`` into ``br X``."""
+    rewritten = 0
+    for block in fn.blocks:
+        term = block.instrs[-1]
+        if isinstance(term, CondBr) and term.true_target == term.false_target:
+            block.instrs[-1] = Br(term.true_target, term.dloc)
+            rewritten += 1
+    return rewritten
+
+
+def merge_straightline_blocks(fn: Function) -> int:
+    """Merge ``P -> B`` when P's only successor is B and B's only pred is P."""
+    merged = 0
+    changed = True
+    while changed:
+        changed = False
+        preds = predecessors_map(fn)
+        for pred_block in fn.blocks:
+            succs = pred_block.successors()
+            if len(succs) != 1:
+                continue
+            succ_label = succs[0]
+            if succ_label == pred_block.label:
+                continue
+            if len(preds.get(succ_label, ())) != 1:
+                continue
+            succ_block = fn.block(succ_label)
+            if succ_block is fn.entry:
+                continue
+            # Absorb: drop P's terminator, append B's instructions.
+            pred_block.instrs.pop()
+            pred_block.instrs.extend(succ_block.instrs)
+            if pred_block.count is None:
+                pred_block.count = succ_block.count
+            fn.remove_block(succ_label)
+            merged += 1
+            changed = True
+            break
+    return merged
+
+
+def simplify_cfg_function(fn: Function) -> int:
+    total = 0
+    total += remove_unreachable_blocks(fn)
+    total += canonicalize_condbr(fn)
+    total += fold_forwarding_blocks(fn)
+    total += merge_straightline_blocks(fn)
+    return total
+
+
+def simplify_cfg(module: Module, config: OptConfig = None) -> None:
+    for fn in module.functions.values():
+        simplify_cfg_function(fn)

@@ -1,0 +1,98 @@
+"""Code-merge optimization: identical-block merging ("tail merge").
+
+This is the paper's canonical *code merge* profile hazard (sec. III.A(a)):
+once two blocks from different source locations are merged, "there is no
+reasonable way to distribute merged profile counts back to the original
+program locations".  The merge signature deliberately ignores debug locations
+— that is precisely why DWARF-based correlation is damaged — but it *does*
+include pseudo-probes and instrumentation counters, so blocks carrying
+distinct probe/counter ids never merge.  This reproduces both the hazard
+(for AutoFDO) and its mitigation (for CSSPGO and Instr PGO).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..ir.function import Function, Module
+from ..ir.instructions import (Assign, BinOp, Br, Call, Cmp, CondBr, Instr,
+                               InstrProfIncrement, Load, PseudoProbe, Ret,
+                               Select, Store)
+from .pass_manager import OptConfig
+
+
+def _instr_signature(instr: Instr) -> tuple:
+    """Structural signature of an instruction, excluding debug locations."""
+    if isinstance(instr, Assign):
+        return ("mov", instr.dst, instr.src)
+    if isinstance(instr, BinOp):
+        return ("binop", instr.op, instr.dst, instr.lhs, instr.rhs)
+    if isinstance(instr, Cmp):
+        return ("cmp", instr.pred, instr.dst, instr.lhs, instr.rhs)
+    if isinstance(instr, Select):
+        return ("select", instr.dst, instr.cond, instr.tval, instr.fval)
+    if isinstance(instr, Load):
+        return ("load", instr.dst, instr.array, instr.index)
+    if isinstance(instr, Store):
+        return ("store", instr.array, instr.index, instr.value)
+    if isinstance(instr, Call):
+        return ("call", instr.dst, instr.callee, tuple(instr.args))
+    if isinstance(instr, Br):
+        return ("br", instr.target)
+    if isinstance(instr, CondBr):
+        return ("condbr", instr.cond, instr.true_target, instr.false_target)
+    if isinstance(instr, Ret):
+        return ("ret", instr.value)
+    if isinstance(instr, PseudoProbe):
+        # Distinct probe ids make distinct signatures: probes block merging.
+        return ("probe", instr.guid, instr.probe_id, instr.inline_stack)
+    if isinstance(instr, InstrProfIncrement):
+        return ("counter", instr.func_name, instr.counter_id)
+    raise TypeError(f"unhandled instruction {instr!r}")
+
+
+def _block_signature(block) -> tuple:
+    return tuple(_instr_signature(i) for i in block.instrs)
+
+
+def tail_merge_function(fn: Function) -> int:
+    """Merge identical blocks; returns the number of blocks removed."""
+    merged_total = 0
+    changed = True
+    while changed:
+        changed = False
+        groups: Dict[tuple, List] = {}
+        for block in fn.blocks:
+            if block is fn.entry:
+                continue
+            groups.setdefault(_block_signature(block), []).append(block)
+        for signature, blocks in groups.items():
+            if len(blocks) < 2:
+                continue
+            keeper, *victims = blocks
+            for victim in victims:
+                _retarget_all(fn, victim.label, keeper.label)
+                if victim.count is not None:
+                    keeper.count = (keeper.count or 0) + victim.count
+                fn.remove_block(victim.label)
+                merged_total += 1
+            changed = True
+            break
+    return merged_total
+
+
+def _retarget_all(fn: Function, old: str, new: str) -> None:
+    for block in fn.blocks:
+        term = block.instrs[-1]
+        if isinstance(term, Br) and term.target == old:
+            term.target = new
+        elif isinstance(term, CondBr):
+            if term.true_target == old:
+                term.true_target = new
+            if term.false_target == old:
+                term.false_target = new
+
+
+def tail_merge(module: Module, config: OptConfig = None) -> None:
+    for fn in module.functions.values():
+        tail_merge_function(fn)

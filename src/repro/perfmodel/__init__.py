@@ -1,0 +1,11 @@
+"""Cycle-level performance model (see DESIGN.md sec. 1 for the substitution
+rationale: the paper measures production RPS/CPU; we measure modeled cycles)."""
+
+from .cost_model import (BASE_COSTS, ICACHE_MISS_PENALTY, MISPREDICT_PENALTY,
+                         TAKEN_BRANCH_PENALTY, BranchPredictor, CostModel,
+                         ICache)
+
+__all__ = [
+    "BASE_COSTS", "BranchPredictor", "CostModel", "ICache",
+    "ICACHE_MISS_PENALTY", "MISPREDICT_PENALTY", "TAKEN_BRANCH_PENALTY",
+]

@@ -1,0 +1,12 @@
+"""End-to-end PGO pipelines (build -> profile -> rebuild -> evaluate)."""
+
+from .build import BuildArtifacts, build
+from .driver import (PGODriverConfig, PGORunResult, RunMeasurement,
+                     compare_variants, measure_run, run_pgo, speedup_over)
+from .variants import PGOVariant, opt_config_for
+
+__all__ = [
+    "BuildArtifacts", "PGODriverConfig", "PGORunResult", "PGOVariant",
+    "RunMeasurement", "build", "compare_variants", "measure_run",
+    "opt_config_for", "run_pgo", "speedup_over",
+]

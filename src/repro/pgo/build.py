@@ -1,0 +1,135 @@
+"""Build pipeline: source IR -> optimized, linked binary, per PGO variant.
+
+One entry point, :func:`build`, runs the whole compiler:
+
+1. clone the pristine source module (the "frontend output");
+2. insert correlation anchors (pseudo-probes or counters) when the variant
+   asks for them;
+3. apply the profile via the variant's sample loader (when one is supplied);
+4. run the shared optimization pipeline;
+5. lower, link, and measure section sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+import copy
+
+from ..annotate.sample_loader import (AnnotationStats, annotate_autofdo,
+                                      annotate_fs_autofdo_early,
+                                      annotate_fs_autofdo_late,
+                                      annotate_instr, annotate_probe_flat,
+                                      csspgo_sample_loader)
+from ..codegen.binary import Binary, link
+from ..codegen.dwarf import DwarfInfo, build_dwarf
+from ..codegen.lower import LowerConfig, lower_module
+from ..codegen.probe_metadata import ProbeMetadata, build_probe_metadata
+from ..codegen.sizes import BinarySizes, measure_sizes
+from ..ir.function import Module
+from ..opt.pass_manager import OptConfig
+from ..opt.pipeline import optimize_module
+from ..probes.insertion import insert_pseudo_probes
+from ..probes.instrumentation import InstrumentationMap, instrument_module
+from ..profile.profiles import ContextProfile, FlatProfile
+from .variants import PGOVariant, opt_config_for
+
+Profile = Union[FlatProfile, ContextProfile]
+
+
+class BuildArtifacts:
+    """Everything the experiments need from one compilation."""
+
+    def __init__(self, variant: PGOVariant, module: Module, binary: Binary,
+                 sizes: BinarySizes, probe_meta: Optional[ProbeMetadata],
+                 dwarf: DwarfInfo, imap: Optional[InstrumentationMap],
+                 annotation: Optional[AnnotationStats]):
+        self.variant = variant
+        self.module = module          # post-optimization IR
+        self.binary = binary
+        self.sizes = sizes
+        self.probe_meta = probe_meta
+        self.dwarf = dwarf
+        self.imap = imap              # instrumented builds only
+        self.annotation = annotation  # PGO-applied builds only
+
+    def __repr__(self) -> str:
+        return (f"<BuildArtifacts {self.variant.value} text={self.sizes.text} "
+                f"instrs={len(self.binary.instrs)}>")
+
+
+def build(source: Module, variant: PGOVariant,
+          profile: Optional[Profile] = None,
+          imap_from_profiling: Optional[InstrumentationMap] = None,
+          opt_config: Optional[OptConfig] = None,
+          lower_config: Optional[LowerConfig] = None,
+          instrument: bool = False) -> BuildArtifacts:
+    """Compile ``source`` under ``variant``.
+
+    ``profile`` — apply this profile (the optimizing build of the PGO cycle);
+    ``instrument`` — insert real counters (the Instr-PGO *profiling* build);
+    ``imap_from_profiling`` — counter map needed to interpret an
+    instrumentation profile (its dict of counters is passed as ``profile``).
+    """
+    module = source.clone()
+    config = opt_config_for(variant, opt_config)
+    imap: Optional[InstrumentationMap] = None
+    annotation: Optional[AnnotationStats] = None
+
+    if variant.uses_probes:
+        insert_pseudo_probes(module)
+    if instrument:
+        if variant is not PGOVariant.INSTR:
+            raise ValueError("only the INSTR variant builds instrumented binaries")
+        imap = instrument_module(module)
+
+    profile_annotated = False
+    if profile is not None:
+        if variant is PGOVariant.AUTOFDO:
+            annotation = annotate_autofdo(module, profile)
+        elif variant is PGOVariant.FS_AUTOFDO:
+            annotation = annotate_fs_autofdo_early(module, profile)
+        elif variant is PGOVariant.CSSPGO_PROBE_ONLY:
+            annotation = annotate_probe_flat(module, profile)
+        elif variant is PGOVariant.CSSPGO_FULL:
+            annotation = csspgo_sample_loader(module, profile, config)
+            # The CS sample loader already inlined the pre-inliner's picks;
+            # the pipeline inliner may still inline hot leftovers it can see,
+            # but with a tightened callee-size bar (selectivity is the
+            # pre-inliner's job — Fig. 7's size savings come from here).
+            config.inline_hot_threshold = min(config.inline_hot_threshold, 80)
+        elif variant is PGOVariant.INSTR:
+            if imap_from_profiling is None:
+                raise ValueError("INSTR optimizing build needs the profiling "
+                                 "build's InstrumentationMap")
+            annotation = annotate_instr(module, profile, imap_from_profiling)
+        else:
+            raise ValueError(f"variant {variant} cannot consume a profile")
+        profile_annotated = True
+
+    if variant.uses_fs_discriminators:
+        # FS-AutoFDO: optimize without layout, assign flow-sensitive
+        # discriminators on the optimized CFG, re-annotate late with full
+        # (line, discriminator) keys, then run the late (layout/splitting)
+        # optimizations on the re-annotated counts.
+        from ..opt.fs_discriminators import assign_fs_discriminators
+        from ..opt.layout import block_layout
+        fs_config = copy.copy(config)
+        fs_config.enable_layout = False
+        optimize_module(module, fs_config, profile_annotated=profile_annotated)
+        assign_fs_discriminators(module)
+        if profile is not None:
+            annotate_fs_autofdo_late(module, profile)
+        if config.enable_layout:
+            block_layout(module, config)
+    else:
+        optimize_module(module, config, profile_annotated=profile_annotated)
+
+    lowered = lower_module(module, lower_config)
+    binary = link(module, lowered)
+    probe_meta = build_probe_metadata(binary, module) if variant.uses_probes else None
+    dwarf = build_dwarf(binary)
+    sizes = measure_sizes(binary, dwarf,
+                          probe_meta if probe_meta is not None else None)
+    return BuildArtifacts(variant, module, binary, sizes, probe_meta, dwarf,
+                          imap, annotation)

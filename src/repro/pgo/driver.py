@@ -1,0 +1,200 @@
+"""End-to-end PGO driver: profile collection, rebuild, evaluation.
+
+The full cycle for each variant (mirroring the paper's production workflow):
+
+1. **profiling build** — sampled variants profile a release-style binary
+   (probes inserted for CSSPGO variants); Instr PGO profiles a special
+   instrumented binary (the operational burden the paper quantifies);
+2. **collection** — run the training input; sampled variants attach the PMU
+   (synchronized LBR + stack for full CSSPGO), Instr reads exact counters;
+3. **profile generation** — llvm-profgen equivalent; full CSSPGO also runs
+   cold-context trimming and the pre-inliner here (offline, sec. III.B(b));
+4. **optimizing build** — fresh compile consuming the profile;
+5. **evaluation** — run the final binary on the evaluation input under the
+   cycle cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..codegen.lower import LowerConfig
+from ..correlate.profgen import (generate_context_profile,
+                                 generate_dwarf_profile,
+                                 generate_probe_profile)
+from ..hw.executor import MachineExecutor, execute, make_pmu
+from ..hw.pmu import PMU, PMUConfig
+from ..ir.function import Module
+from ..opt.pass_manager import OptConfig
+from ..perfmodel.cost_model import CostModel
+from ..preinline.preinliner import PreInlinerConfig, run_preinliner
+from ..preinline.size_extractor import extract_function_sizes
+from ..profile.profiles import ContextProfile, FlatProfile
+from ..profile.stats import profile_stats
+from ..profile.trimming import trim_cold_contexts
+from .build import BuildArtifacts, build
+from .variants import PGOVariant
+
+
+class RunMeasurement:
+    """One execution under the cost model."""
+
+    def __init__(self, cycles: float, instructions: int, summary: Dict[str, float]):
+        self.cycles = cycles
+        self.instructions = instructions
+        self.summary = summary
+
+
+def measure_run(artifacts: BuildArtifacts, args: Sequence[int],
+                max_instructions: int = 100_000_000) -> RunMeasurement:
+    cost = CostModel()
+    result = execute(artifacts.binary, args, cost_model=cost,
+                     max_instructions=max_instructions)
+    return RunMeasurement(cost.cycles, result.instructions_retired,
+                          cost.summary())
+
+
+class PGORunResult:
+    """Everything one variant's full PGO cycle produced."""
+
+    def __init__(self, variant: PGOVariant):
+        self.variant = variant
+        self.profile: Optional[Union[FlatProfile, ContextProfile]] = None
+        self.profiling_build: Optional[BuildArtifacts] = None
+        self.final: Optional[BuildArtifacts] = None
+        self.eval: Optional[RunMeasurement] = None
+        #: Cycles of the profiling-phase run (overhead analysis).
+        self.profiling_run: Optional[RunMeasurement] = None
+        self.profile_stats: Dict[str, float] = {}
+        self.raw_profile_stats: Dict[str, float] = {}
+        self.extras: Dict[str, object] = {}
+
+    def __repr__(self) -> str:
+        cycles = f"{self.eval.cycles:.0f}" if self.eval else "?"
+        return f"<PGORunResult {self.variant.value} cycles={cycles}>"
+
+
+class PGODriverConfig:
+    """Knobs shared across a comparison (identical for every variant)."""
+
+    def __init__(self, *,
+                 pmu: Optional[PMUConfig] = None,
+                 opt: Optional[OptConfig] = None,
+                 lower: Optional[LowerConfig] = None,
+                 preinline: Optional[PreInlinerConfig] = None,
+                 trim_hot_fraction: float = 0.002,
+                 trim_cold_contexts: bool = True,
+                 profile_iterations: int = 2,
+                 max_instructions: int = 100_000_000):
+        self.pmu = pmu or PMUConfig()
+        self.opt = opt
+        self.lower = lower
+        self.preinline = preinline
+        self.trim_hot_fraction = trim_hot_fraction
+        self.trim_cold_contexts = trim_cold_contexts
+        #: Continuous-deployment depth for sampled variants: with 2 (the
+        #: production situation the paper describes), profiles are collected
+        #: on the previous *PGO-optimized* release, whose aggressive
+        #: optimizations are exactly what damages DWARF correlation.
+        self.profile_iterations = profile_iterations
+        self.max_instructions = max_instructions
+
+
+def run_pgo(source: Module, variant: PGOVariant,
+            train_args: Sequence[int], eval_args: Sequence[int],
+            config: Optional[PGODriverConfig] = None) -> PGORunResult:
+    """Run the complete PGO cycle for one variant."""
+    config = config or PGODriverConfig()
+    result = PGORunResult(variant)
+
+    if variant is PGOVariant.NONE:
+        result.final = build(source, variant, opt_config=config.opt,
+                             lower_config=config.lower)
+        result.eval = measure_run(result.final, eval_args,
+                                  config.max_instructions)
+        return result
+
+    # ---- 1-3: profiling build, collection, profile generation ------------
+    if variant is PGOVariant.INSTR:
+        profiling = build(source, variant, instrument=True,
+                          opt_config=config.opt, lower_config=config.lower)
+        cost = CostModel()
+        run = execute(profiling.binary, train_args, cost_model=cost,
+                      max_instructions=config.max_instructions)
+        result.profiling_run = RunMeasurement(cost.cycles,
+                                              run.instructions_retired,
+                                              cost.summary())
+        profile: Dict[Tuple[str, int], float] = dict(run.instr_counters)
+        result.profile = profile
+        result.profiling_build = profiling
+        final = build(source, variant, profile=profile,
+                      imap_from_profiling=profiling.imap,
+                      opt_config=config.opt, lower_config=config.lower)
+    else:
+        # Continuous deployment: iteration 0 profiles a plain release build,
+        # each following iteration profiles the binary optimized with the
+        # previous iteration's profile (the production steady state).
+        profile = None
+        for _iteration in range(max(1, config.profile_iterations)):
+            profiling = build(source, variant, profile=profile,
+                              opt_config=config.opt,
+                              lower_config=config.lower)
+            result.profiling_build = profiling
+            pmu = make_pmu(config.pmu)
+            cost = CostModel()
+            run = execute(profiling.binary, train_args, pmu=pmu,
+                          cost_model=cost,
+                          max_instructions=config.max_instructions)
+            result.profiling_run = RunMeasurement(cost.cycles,
+                                                  run.instructions_retired,
+                                                  cost.summary())
+            data = pmu.finish(run.instructions_retired)
+            result.extras["samples"] = len(data)
+
+            if variant in (PGOVariant.AUTOFDO, PGOVariant.FS_AUTOFDO):
+                profile = generate_dwarf_profile(profiling.binary, data)
+            elif variant is PGOVariant.CSSPGO_PROBE_ONLY:
+                profile = generate_probe_profile(profiling.binary, data,
+                                                 profiling.probe_meta)
+            else:  # CSSPGO_FULL
+                profile, inferrer = generate_context_profile(
+                    profiling.binary, data, profiling.probe_meta)
+                result.extras["frame_inference"] = (inferrer.attempted,
+                                                    inferrer.recovered)
+                result.raw_profile_stats = profile_stats(profile)
+                if config.trim_cold_contexts:
+                    kept, merged = trim_cold_contexts(
+                        profile, config.trim_hot_fraction)
+                    result.extras["trimmed_contexts"] = merged
+                sizes = extract_function_sizes(profiling.binary)
+                decisions = run_preinliner(profile, sizes, config.preinline)
+                result.extras["preinline_decisions"] = decisions
+        result.profile = profile
+        result.profile_stats = profile_stats(profile)
+        final = build(source, variant, profile=profile,
+                      opt_config=config.opt, lower_config=config.lower)
+
+    # ---- 4-5: optimizing build and evaluation -----------------------------
+    result.final = final
+    result.eval = measure_run(final, eval_args, config.max_instructions)
+    return result
+
+
+def compare_variants(source: Module, train_args: Sequence[int],
+                     eval_args: Sequence[int],
+                     variants: Optional[List[PGOVariant]] = None,
+                     config: Optional[PGODriverConfig] = None
+                     ) -> Dict[PGOVariant, PGORunResult]:
+    """Run several variants on identical inputs; keyed results."""
+    if variants is None:
+        variants = [PGOVariant.NONE, PGOVariant.AUTOFDO,
+                    PGOVariant.CSSPGO_PROBE_ONLY, PGOVariant.CSSPGO_FULL,
+                    PGOVariant.INSTR]
+    return {variant: run_pgo(source, variant, train_args, eval_args, config)
+            for variant in variants}
+
+
+def speedup_over(baseline: PGORunResult, other: PGORunResult) -> float:
+    """Relative performance of ``other`` vs ``baseline`` (positive = faster),
+    the paper's "% improvement" metric."""
+    return baseline.eval.cycles / other.eval.cycles - 1.0

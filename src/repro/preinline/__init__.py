@@ -1,0 +1,12 @@
+"""Context-sensitive pre-inliner (paper Algorithms 2 and 3)."""
+
+from .call_graph import profiled_call_graph, top_down_order
+from .preinliner import (PreInlineDecision, PreInlinerConfig, run_preinliner,
+                         should_inline)
+from .size_extractor import SizeTable, extract_function_sizes
+
+__all__ = [
+    "PreInlineDecision", "PreInlinerConfig", "SizeTable",
+    "extract_function_sizes", "profiled_call_graph", "run_preinliner",
+    "should_inline", "top_down_order",
+]

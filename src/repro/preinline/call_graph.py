@@ -1,0 +1,44 @@
+"""Profiled call graph and its top-down traversal order (Algorithm 2 input).
+
+Built from the context profile itself: every context ``[... @ F:site @ G]``
+contributes an F -> G edge weighted by the context's total samples; base
+profiles contribute edges from their recorded call targets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import networkx as nx
+
+from ..profile.profiles import ContextProfile
+
+
+def profiled_call_graph(profile: ContextProfile) -> "nx.DiGraph":
+    graph = nx.DiGraph()
+    for context, samples in profile.contexts.items():
+        leaf = samples.name
+        graph.add_node(leaf)
+        if len(context) >= 2:
+            caller = context[-2][0]
+            weight = samples.total
+            if graph.has_edge(caller, leaf):
+                graph[caller][leaf]["weight"] += weight
+            else:
+                graph.add_edge(caller, leaf, weight=weight)
+        for targets in samples.calls.values():
+            for callee, count in targets.items():
+                if graph.has_edge(leaf, callee):
+                    graph[leaf][callee]["weight"] += count
+                else:
+                    graph.add_edge(leaf, callee, weight=count)
+    return graph
+
+
+def top_down_order(graph: "nx.DiGraph") -> List[str]:
+    """Callers before callees; cycles (SCCs) flattened in stable order."""
+    condensation = nx.condensation(graph)
+    order: List[str] = []
+    for scc_id in nx.topological_sort(condensation):
+        order.extend(sorted(condensation.nodes[scc_id]["members"]))
+    return order

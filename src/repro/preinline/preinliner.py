@@ -1,0 +1,187 @@
+"""Algorithm 2: the top-down context-sensitive pre-inliner.
+
+Runs offline, as part of profile generation (paper sec. III.B(b)): it makes
+global top-down inline decisions using context-sensitive hotness and the
+binary-extracted size table (Algorithm 3), then *transforms the profile*:
+
+* contexts it decides to inline keep their full context key and gain the
+  ``ShouldBeInlined`` attribute, which the compiler's sample loader honors;
+* contexts it declines are merged back into the callee's base profile (so
+  the standalone callee is annotated accurately — Algorithm 2 lines 3-7).
+
+This sidesteps ThinLTO's isolation problem: no cross-module profile
+adjustment is needed at compile time because it already happened here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..profile.context import ContextKey, base_context, leaf_function
+from ..profile.function_samples import ATTR_SHOULD_INLINE, FunctionSamples
+from ..profile.profiles import ContextProfile
+from .call_graph import profiled_call_graph, top_down_order
+from .size_extractor import SizeTable
+
+
+#: Probe id of every function's entry block (insertion numbers blocks from 1).
+ENTRY_PROBE_ID = 1
+
+
+class PreInlinerConfig:
+    """Heuristic knobs (deliberately close to the compiler inliner's)."""
+
+    def __init__(self, *,
+                 hot_callsite_fraction: float = 0.002,
+                 size_threshold_hot: int = 400,
+                 size_threshold_normal: int = 72,
+                 caller_size_limit: int = 1000,
+                 default_callee_size: int = 80):
+        self.hot_callsite_fraction = hot_callsite_fraction
+        self.size_threshold_hot = size_threshold_hot
+        self.size_threshold_normal = size_threshold_normal
+        self.caller_size_limit = caller_size_limit
+        self.default_callee_size = default_callee_size
+
+
+class PreInlineDecision:
+    __slots__ = ("context", "inlined", "size", "hotness")
+
+    def __init__(self, context: ContextKey, inlined: bool, size: int,
+                 hotness: float):
+        self.context = context
+        self.inlined = inlined
+        self.size = size
+        self.hotness = hotness
+
+    def __repr__(self) -> str:
+        verdict = "inline" if self.inlined else "keep"
+        return f"<{verdict} {self.context} size={self.size} hot={self.hotness:g}>"
+
+
+def should_inline(size: int, hotness: float, total_samples: float,
+                  config: PreInlinerConfig) -> bool:
+    if total_samples <= 0 or hotness <= 0:
+        return False
+    if hotness >= config.hot_callsite_fraction * total_samples:
+        return size <= config.size_threshold_hot
+    return size <= config.size_threshold_normal
+
+
+def run_preinliner(profile: ContextProfile, sizes: SizeTable,
+                   config: Optional[PreInlinerConfig] = None
+                   ) -> List[PreInlineDecision]:
+    """Transform ``profile`` in place; returns the decision log."""
+    config = config or PreInlinerConfig()
+    total_samples = profile.total_samples()
+    decisions: List[PreInlineDecision] = []
+    graph = profiled_call_graph(profile)
+    order = top_down_order(graph)
+
+    decided: Set[ContextKey] = set()
+    for name in order:
+        # Each function's base instance is one inlining scope; marked child
+        # contexts re-enter the scope's candidate queue (Algorithm 2's
+        # Enqueue(Candidates, NewCandidates)), so the whole nested subtree
+        # shares the scope's size budget.
+        instance = base_context(name)
+        if instance in profile.contexts:
+            _inline_into(profile, instance, sizes, config, total_samples,
+                         decisions, decided)
+
+    # Anything left unmarked and non-base (e.g. candidates dropped when a
+    # scope's size budget ran out) counts as declined: promote shallowest
+    # first so subtree structure survives under the new root.
+    while True:
+        leftovers = [c for c in profile.contexts
+                     if len(c) > 1 and ATTR_SHOULD_INLINE
+                     not in profile.contexts[c].attributes
+                     and _root_is_unmarked(profile, c)]
+        if not leftovers:
+            break
+        profile.promote_subtree(min(leftovers, key=len))
+    profile.finalize()
+    return decisions
+
+
+def _root_is_unmarked(profile: ContextProfile, context: ContextKey) -> bool:
+    """True when no ancestor of ``context`` carries the inline mark (marked
+    ancestors keep their whole subtree rooted where it is — the loader walks
+    through them even if this particular descendant stays a call site)."""
+    for depth in range(1, len(context)):
+        prefix = context[:depth]
+        prefix = prefix[:-1] + ((prefix[-1][0], None),)
+        record = profile.contexts.get(prefix)
+        if record is not None and ATTR_SHOULD_INLINE in record.attributes:
+            return False
+    return True
+
+
+def _subtree_size(profile: ContextProfile, sizes: SizeTable,
+                  context, config: PreInlinerConfig) -> int:
+    total = 0
+    members = profile.subtree_of(context) or [context]
+    for ctx in members:
+        size = sizes.size_for(ctx)
+        total += size if size is not None else config.default_callee_size
+    return total
+
+
+def _inline_into(profile: ContextProfile, instance: ContextKey,
+                 sizes: SizeTable, config: PreInlinerConfig,
+                 total_samples: float,
+                 decisions: List[PreInlineDecision],
+                 decided: Set[ContextKey]) -> None:
+    """Greedy knapsack over this instance's candidate child contexts
+    (Algorithm 2's inner while loop)."""
+    own_size = sizes.size_for(instance)
+    if own_size is None:
+        own_size = config.default_callee_size
+    func_size = own_size
+    candidates = [c for c in profile.children_of(instance)
+                  if c not in decided]
+
+    def hotness_of(ctx: ContextKey) -> float:
+        # Benefit of inlining a call site scales with how often the call
+        # executes (call elimination + specialization opportunity) — not
+        # with how many samples its body burns: a dispatch loop calling a
+        # huge service 300 times is a cold call site even though the service
+        # dominates the profile.  The context's entry-probe count (probe 1)
+        # is the exact execution count, and is available even when the
+        # profiling binary had already inlined the callee (no physical call
+        # branch -> no head samples).
+        record = profile.contexts.get(ctx)
+        if record is None:
+            return 0.0
+        return max(record.head, record.body.get(ENTRY_PROBE_ID, 0.0))
+
+    while candidates and func_size < config.caller_size_limit:
+        candidates.sort(key=hotness_of)
+        candidate = candidates.pop()  # most beneficial first
+        if candidate in decided:
+            continue
+        decided.add(candidate)
+        samples = profile.get_or_create(candidate)
+        hotness = hotness_of(candidate)
+        # Cost the *whole hot chain* the mark would pull in, not just the
+        # candidate's exclusive bytes: inlining a mid-level callee into a
+        # service drags its own hot inlinees along, and that is what must
+        # fit the threshold (this is what keeps inlining rooted at the
+        # right level and Fig. 7's code size smaller, not bigger).
+        size = _subtree_size(profile, sizes, candidate, config)
+        if should_inline(size, hotness, total_samples, config):
+            samples.attributes.add(ATTR_SHOULD_INLINE)
+            func_size += size
+            decisions.append(PreInlineDecision(candidate, True, size,
+                                               hotness))
+            candidates.extend(c for c in profile.children_of(candidate)
+                              if c not in decided)
+        else:
+            decisions.append(PreInlineDecision(candidate, False, size,
+                                               hotness))
+            # Not inlined here: the callee stays outlined, so its samples —
+            # and its entire context subtree — belong to the callee's own
+            # scope (MoveContextProfileToBaseProfile, generalized to the
+            # subtree).  The callee's base instance, processed later in
+            # top-down order, decides inlining *into* the outlined copy.
+            profile.promote_subtree(candidate)

@@ -1,0 +1,101 @@
+"""Algorithm 3: context-sensitive inline cost from the profiling binary.
+
+The pre-inliner needs the *cost* of inlining a callee in a given context.
+Early-IR size estimates are unreliable; the paper instead measures the actual
+machine-code bytes of each (possibly inlined) function copy in the profiling
+binary: "extracted size can often accurately tell the pre-inliner that
+certain functions will eventually be fully optimized away".
+
+Every machine instruction is attributed to the probe inline chain of its
+block's probe anchor (self-describing, see DESIGN.md sec. 5), giving
+``FuncSizeForContext`` keyed by (function, callsite) chains exactly like
+profile contexts.  Zero entries are created for every prefix of an observed
+chain (Algorithm 3 lines 8-13) so lookups distinguish "copy fully optimized
+away" (0) from "never inlined here" (miss).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..codegen.binary import Binary
+from ..profile.context import ContextKey, base_context
+
+
+class SizeTable:
+    """``FuncSizeForContext`` plus fallback queries for the pre-inliner."""
+
+    def __init__(self) -> None:
+        self.size_for_context: Dict[ContextKey, int] = {}
+        #: Sum and count per leaf function, for the averaging fallback.
+        self._leaf_totals: Dict[str, List[int]] = {}
+
+    def record(self, context: ContextKey, size: int) -> None:
+        self.size_for_context[context] = (
+            self.size_for_context.get(context, 0) + size)
+
+    def ensure(self, context: ContextKey) -> None:
+        self.size_for_context.setdefault(context, 0)
+
+    def finalize(self) -> None:
+        self._leaf_totals.clear()
+        for context, size in self.size_for_context.items():
+            leaf = context[-1][0]
+            entry = self._leaf_totals.setdefault(leaf, [0, 0])
+            entry[0] += size
+            entry[1] += 1
+
+    def size_for(self, context: ContextKey) -> Optional[int]:
+        """Specialized size if this exact context existed in the profiling
+        binary; else the standalone copy's size; else the average over all
+        observed copies; else None (function never emitted)."""
+        exact = self.size_for_context.get(context)
+        if exact is not None:
+            return exact
+        leaf = context[-1][0]
+        standalone = self.size_for_context.get(base_context(leaf))
+        if standalone is not None:
+            return standalone
+        totals = self._leaf_totals.get(leaf)
+        if totals and totals[1]:
+            return totals[0] // totals[1]
+        return None
+
+
+def extract_function_sizes(binary: Binary) -> SizeTable:
+    """Run Algorithm 3 over the profiling binary.
+
+    The current inline context per binary function is tracked from the most
+    recent probe anchor: a probe record carries both its lexical owner (the
+    leaf function the following bytes belong to) and its call-site chain.
+    Bytes before the first probe of a function belong to the function itself.
+    """
+    table = SizeTable()
+    #: binary function -> (callsite chain, leaf function name)
+    current: Dict[str, Tuple[tuple, str]] = {}
+    for minstr in binary.instrs:
+        func = minstr.func
+        if minstr.probes:
+            record = minstr.probes[-1]
+            leaf = binary.guid_to_name.get(record.guid, func)
+            current[func] = (record.inline_stack, leaf)
+        chain, leaf = current.get(func, ((), func))
+        context = _chain_to_context(binary, chain, leaf)
+        table.record(context, minstr.size)
+        # Algorithm 3's prefix materialization: guarantee entries for every
+        # enclosing context so "optimized away" reads as 0, not as a miss.
+        prefix = context
+        while len(prefix) > 1:
+            caller, _site = prefix[-2]
+            prefix = prefix[:-2] + ((caller, None),)
+            table.ensure(prefix)
+    table.finalize()
+    return table
+
+
+def _chain_to_context(binary: Binary, chain: tuple, leaf: str) -> ContextKey:
+    if not chain:
+        return base_context(leaf)
+    names: List[Tuple[str, Optional[int]]] = [
+        (binary.guid_to_name.get(g, f"guid:{g:x}"), pid) for g, pid in chain]
+    return tuple(names) + ((leaf, None),)

@@ -1,0 +1,15 @@
+"""Correlation-anchor instrumentation: pseudo-probes and real counters."""
+
+from .descriptor import (FunctionProbeDescriptor, ProbeDesc,
+                         ProbeDescriptorTable, ProbeKind)
+from .insertion import (has_probes, insert_pseudo_probes,
+                        insert_pseudo_probes_function)
+from .instrumentation import (InstrumentationMap, instrument_function,
+                              instrument_module)
+
+__all__ = [
+    "FunctionProbeDescriptor", "InstrumentationMap", "ProbeDesc",
+    "ProbeDescriptorTable", "ProbeKind", "has_probes",
+    "insert_pseudo_probes", "insert_pseudo_probes_function",
+    "instrument_function", "instrument_module",
+]

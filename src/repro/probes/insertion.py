@@ -1,0 +1,61 @@
+"""Pseudo-probe insertion pass (paper sec. III.A).
+
+Probes are inserted "into each basic block of the control-flow graph at an
+early stage of the optimization pipeline before any aggressive
+transformations".  We do exactly that: the pass runs on freshly built IR,
+placing one block probe at the head of every block and assigning every call
+site its own call probe id.  The per-function CFG checksum is computed and
+stored at the same time; it travels with the profile so stale profiles from
+drifted sources can be rejected (see :mod:`repro.ir.checksum`).
+"""
+
+from __future__ import annotations
+
+from ..ir.checksum import cfg_checksum
+from ..ir.function import Function, Module
+from ..ir.instructions import Call, PseudoProbe
+from .descriptor import (FunctionProbeDescriptor, ProbeDesc,
+                         ProbeDescriptorTable, ProbeKind)
+
+
+def insert_pseudo_probes_function(fn: Function) -> FunctionProbeDescriptor:
+    """Instrument one function; returns its probe descriptor.
+
+    Block probes are numbered 1..N in layout order; call probes continue the
+    numbering.  The probe is placed at the head of the block so any sample
+    attributed to the block's address range increments the probe's count.
+    """
+    next_id = 1
+    # Checksum before probes are physically present so re-instrumenting a
+    # drifted source computes a comparable value.
+    checksum = cfg_checksum(fn)
+    desc = FunctionProbeDescriptor(fn.name, fn.guid, checksum)
+    for block in fn.blocks:
+        probe = PseudoProbe(fn.guid, next_id, dloc=None)
+        block.instrs.insert(0, probe)
+        desc.add(ProbeDesc(next_id, ProbeKind.BLOCK, block.label))
+        next_id += 1
+    for block in fn.blocks:
+        for instr in block.instrs:
+            if isinstance(instr, Call):
+                instr.probe_id = next_id
+                instr.lexical_guid = fn.guid
+                desc.add(ProbeDesc(next_id, ProbeKind.CALL, block.label,
+                                   callee=instr.callee))
+                next_id += 1
+    fn.probe_checksum = checksum
+    return desc
+
+
+def insert_pseudo_probes(module: Module) -> ProbeDescriptorTable:
+    """Instrument every function in the module with pseudo-probes."""
+    table = ProbeDescriptorTable()
+    for fn in module.functions.values():
+        table.add(insert_pseudo_probes_function(fn))
+        module.probe_guid_names[fn.guid] = fn.name
+        module.probe_guid_checksums[fn.guid] = fn.probe_checksum
+    return table
+
+
+def has_probes(fn: Function) -> bool:
+    return any(isinstance(i, PseudoProbe) for i in fn.instructions())

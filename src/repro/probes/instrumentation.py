@@ -1,0 +1,46 @@
+"""Traditional instrumentation insertion (the Instr-PGO baseline).
+
+Inserts an :class:`~repro.ir.instructions.InstrProfIncrement` at the head of
+every basic block.  Unlike pseudo-probes these lower to *real* machine
+instructions that update counters at run time — the source of the ~50-73%
+profiling slowdown the paper reports — and they act as strong optimization
+barriers (code-merge transformations refuse to merge blocks incrementing
+distinct counters).
+
+Production compilers reduce the counter count with Ball-Larus minimal
+spanning-tree placement; we instrument every block, and account for the MST
+saving in the cost model instead (see perfmodel), since what the experiments
+need is the *relative* overhead gap against sampling, not its exact value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..ir.function import Function, Module
+from ..ir.instructions import InstrProfIncrement
+
+
+class InstrumentationMap:
+    """Maps (function, counter_id) back to the block it instruments."""
+
+    def __init__(self) -> None:
+        self.counter_block: Dict[tuple, str] = {}
+        self.num_counters: Dict[str, int] = {}
+
+    def block_for(self, func_name: str, counter_id: int) -> str:
+        return self.counter_block[(func_name, counter_id)]
+
+
+def instrument_function(fn: Function, imap: InstrumentationMap) -> None:
+    for counter_id, block in enumerate(fn.blocks):
+        block.instrs.insert(0, InstrProfIncrement(fn.name, counter_id))
+        imap.counter_block[(fn.name, counter_id)] = block.label
+    imap.num_counters[fn.name] = len(fn.blocks)
+
+
+def instrument_module(module: Module) -> InstrumentationMap:
+    imap = InstrumentationMap()
+    for fn in module.functions.values():
+        instrument_function(fn, imap)
+    return imap

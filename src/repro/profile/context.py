@@ -1,0 +1,89 @@
+"""Calling-context keys.
+
+A context identifies one inline/call chain, LLVM-CSSPGO-style:
+``[main:12 @ svc_0:3 @ mid_1]`` means "mid_1 called from line/probe 3 of
+svc_0, itself called from line/probe 12 of main".  We represent it as a tuple
+of frames, outermost first; every frame is ``(function_name, callsite_id)``
+with ``callsite_id is None`` for the leaf (the profiled function itself).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+Frame = Tuple[str, Optional[int]]
+ContextKey = Tuple[Frame, ...]
+
+
+def make_context(*frames: Frame) -> ContextKey:
+    return tuple(frames)
+
+
+def base_context(function_name: str) -> ContextKey:
+    """The context-insensitive ("base") context of a function."""
+    return ((function_name, None),)
+
+
+def leaf_function(context: ContextKey) -> str:
+    return context[-1][0]
+
+
+def parent_context(context: ContextKey) -> Optional[ContextKey]:
+    """The caller context: drop the leaf, clear the new leaf's callsite."""
+    if len(context) <= 1:
+        return None
+    head = context[:-2]
+    caller, _site = context[-2]
+    return head + ((caller, None),)
+
+
+def caller_frame(context: ContextKey) -> Optional[Frame]:
+    """The (caller, callsite) pair directly above the leaf."""
+    if len(context) <= 1:
+        return None
+    return context[-2]
+
+
+def extend_context(context: ContextKey, callsite_id: int,
+                   callee: str) -> ContextKey:
+    """Context of ``callee`` called from ``callsite_id`` of this context's leaf."""
+    head = context[:-1]
+    leaf, _none = context[-1]
+    return head + ((leaf, callsite_id), (callee, None))
+
+
+def format_context(context: ContextKey) -> str:
+    parts = []
+    for func, site in context:
+        parts.append(func if site is None else f"{func}:{site}")
+    return "[" + " @ ".join(parts) + "]"
+
+
+def parse_context(text: str) -> ContextKey:
+    inner = text.strip()
+    if inner.startswith("[") and inner.endswith("]"):
+        inner = inner[1:-1]
+    frames = []
+    for part in inner.split(" @ "):
+        part = part.strip()
+        if ":" in part:
+            func, site = part.rsplit(":", 1)
+            frames.append((func, int(site)))
+        else:
+            frames.append((part, None))
+    return tuple(frames)
+
+
+def is_prefix(prefix: ContextKey, context: ContextKey) -> bool:
+    """True when ``context`` is ``prefix`` extended by deeper frames.
+
+    The prefix's leaf frame matches on function name only (its callsite slot
+    is None while the longer context records a real callsite there).
+    """
+    if len(prefix) > len(context):
+        return False
+    for i, (func, site) in enumerate(prefix[:-1]):
+        if context[i] != (func, site):
+            return False
+    leaf_func, _ = prefix[-1]
+    return context[len(prefix) - 1][0] == leaf_func

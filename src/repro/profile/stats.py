@@ -1,0 +1,23 @@
+"""Profile statistics helpers."""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+from .profiles import ContextProfile, FlatProfile
+from .text_format import profile_size_bytes
+
+
+def profile_stats(profile: Union[FlatProfile, ContextProfile]) -> Dict[str, float]:
+    if isinstance(profile, ContextProfile):
+        num_records = len(profile.contexts)
+        max_depth = max((len(c) for c in profile.contexts), default=0)
+    else:
+        num_records = len(profile.functions)
+        max_depth = 1
+    return {
+        "records": float(num_records),
+        "total_samples": profile.total_samples(),
+        "size_bytes": float(profile_size_bytes(profile)),
+        "max_context_depth": float(max_depth),
+    }

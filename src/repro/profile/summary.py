@@ -1,0 +1,66 @@
+"""Profile summary: global hot/cold count thresholds.
+
+Mirrors LLVM's ProfileSummary: sort all annotated block counts descending,
+accumulate, and define the *hot* threshold as the count at which cumulative
+coverage reaches ``hot_coverage`` (99% by default) of all samples — any block
+at or above it is "hot" — and the *cold* threshold at ``cold_coverage``
+(99.99%).  Optimization heuristics (inliner, unroller, hot/cold splitter)
+compare block counts against these global cutoffs rather than per-function
+ratios, which is what makes hotness comparable across a whole program.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class ProfileSummary:
+    """Global hotness thresholds derived from annotated counts."""
+
+    def __init__(self, hot_count: float, cold_count: float, total: float,
+                 num_counts: int):
+        self.hot_count = hot_count
+        self.cold_count = cold_count
+        self.total = total
+        self.num_counts = num_counts
+
+    def is_hot(self, count: Optional[float]) -> bool:
+        return count is not None and count >= self.hot_count and count > 0
+
+    def is_cold(self, count: Optional[float]) -> bool:
+        return count is not None and count < self.cold_count
+
+    def __repr__(self) -> str:
+        return (f"<ProfileSummary hot>={self.hot_count:g} "
+                f"cold<={self.cold_count:g} total={self.total:g}>")
+
+    @classmethod
+    def from_counts(cls, counts: List[float], hot_coverage: float = 0.99,
+                    cold_coverage: float = 0.9999) -> "ProfileSummary":
+        positive = sorted((c for c in counts if c > 0), reverse=True)
+        total = sum(positive)
+        if not positive or total <= 0:
+            return cls(float("inf"), 0.0, 0.0, 0)
+        hot_count = positive[-1]
+        cold_count = 0.0
+        cumulative = 0.0
+        hot_set = False
+        for count in positive:
+            cumulative += count
+            if not hot_set and cumulative >= hot_coverage * total:
+                hot_count = count
+                hot_set = True
+            if cumulative >= cold_coverage * total:
+                cold_count = count
+                break
+        return cls(hot_count, cold_count, total, len(positive))
+
+    @classmethod
+    def from_module(cls, module, hot_coverage: float = 0.99,
+                    cold_coverage: float = 0.9999) -> "ProfileSummary":
+        counts: List[float] = []
+        for fn in module.functions.values():
+            for block in fn.blocks:
+                if block.count is not None:
+                    counts.append(block.count)
+        return cls.from_counts(counts, hot_coverage, cold_coverage)

@@ -1,0 +1,167 @@
+"""Text serialization of profiles (llvm-profdata-style).
+
+Besides persistence and debuggability, serialization is how profile *size* is
+measured for the scalability experiment (paper sec. III.B: raw
+context-sensitive profiles can be ~10x larger; trimming brings them back in
+line): :func:`profile_size_bytes` is the byte length of this encoding.
+
+Flat profile format (one record per function)::
+
+    main:12345:678
+     1.0: 42
+     2.0: 40 callee:40
+    !checksum: 1234567890
+
+Context profile format (one record per context)::
+
+    [main:12 @ svc_0:3 @ mid_1]:2345:678
+     1: 42
+     ...
+
+Numbers after the name are total and head counts.  Body lines are
+``key: count [callee:count ...]``; dwarf keys print as ``line.disc``,
+probe keys as bare ints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from .context import ContextKey, format_context, parse_context
+from .function_samples import FunctionSamples
+from .profiles import ContextProfile, FlatProfile
+
+
+def _format_key(key) -> str:
+    if isinstance(key, tuple):
+        return f"{key[0]}.{key[1]}"
+    return str(key)
+
+
+def _parse_key(text: str):
+    if "." in text:
+        line, disc = text.split(".", 1)
+        return (int(line), int(disc))
+    return int(text)
+
+
+def _format_samples(header: str, samples: FunctionSamples) -> List[str]:
+    lines = [f"{header}:{samples.total:g}:{samples.head:g}"]
+    keys = set(samples.body) | set(samples.calls)
+    for key in sorted(keys, key=_format_key):
+        row = f" {_format_key(key)}: {samples.body.get(key, 0.0):g}"
+        targets = samples.calls.get(key)
+        if targets:
+            for callee in sorted(targets):
+                row += f" {callee}:{targets[callee]:g}"
+        lines.append(row)
+    if samples.checksum is not None:
+        lines.append(f" !checksum: {samples.checksum}")
+    if samples.dangling:
+        keys = ",".join(sorted(_format_key(k) for k in samples.dangling))
+        lines.append(f" !dangling: {keys}")
+    for attr in sorted(samples.attributes):
+        lines.append(f" !attribute: {attr}")
+    return lines
+
+
+def _parse_samples(name: str, header_rest: str,
+                   body_lines: List[str]) -> FunctionSamples:
+    samples = FunctionSamples(name)
+    # header_rest is "total:head"
+    total_text, head_text = header_rest.split(":", 1)
+    samples.total = float(total_text)
+    samples.head = float(head_text)
+    for line in body_lines:
+        line = line.strip()
+        if line.startswith("!checksum:"):
+            samples.checksum = int(line.split(":", 1)[1].strip())
+            continue
+        if line.startswith("!attribute:"):
+            samples.attributes.add(line.split(":", 1)[1].strip())
+            continue
+        if line.startswith("!dangling:"):
+            for part in line.split(":", 1)[1].strip().split(","):
+                if part:
+                    samples.dangling.add(_parse_key(part))
+            continue
+        key_text, rest = line.split(":", 1)
+        key = _parse_key(key_text.strip())
+        fields = rest.split()
+        count = float(fields[0])
+        if count or len(fields) == 1:
+            samples.body[key] = count
+        for call_field in fields[1:]:
+            callee, target_count = call_field.rsplit(":", 1)
+            samples.add_call(key, callee, float(target_count))
+    return samples
+
+
+def dump_flat_profile(profile: FlatProfile) -> str:
+    lines = [f"# kind: {profile.kind}"]
+    for name in sorted(profile.functions):
+        lines.extend(_format_samples(name, profile.functions[name]))
+    return "\n".join(lines) + "\n"
+
+
+def load_flat_profile(text: str) -> FlatProfile:
+    lines = text.splitlines()
+    kind = FlatProfile.KIND_DWARF
+    if lines and lines[0].startswith("# kind:"):
+        kind = lines[0].split(":", 1)[1].strip()
+        lines = lines[1:]
+    profile = FlatProfile(kind)
+    for name, rest, body in _records(lines):
+        profile.functions[name] = _parse_samples(name, rest, body)
+    return profile
+
+
+def dump_context_profile(profile: ContextProfile) -> str:
+    lines = ["# kind: context"]
+    for context in sorted(profile.contexts, key=format_context):
+        header = format_context(context)
+        lines.extend(_format_samples(header, profile.contexts[context]))
+    return "\n".join(lines) + "\n"
+
+
+def load_context_profile(text: str) -> ContextProfile:
+    lines = text.splitlines()
+    if lines and lines[0].startswith("# kind:"):
+        lines = lines[1:]
+    profile = ContextProfile()
+    for name, rest, body in _records(lines):
+        context = parse_context(name)
+        samples = _parse_samples(context[-1][0], rest, body)
+        profile.contexts[context] = samples
+    return profile
+
+
+def _records(lines: List[str]):
+    """Split serialized text into (header-name, header-rest, body-lines)."""
+    current: Optional[Tuple[str, str]] = None
+    body: List[str] = []
+    for line in lines:
+        if not line.strip():
+            continue
+        if not line.startswith(" "):
+            if current is not None:
+                yield current[0], current[1], body
+            if line.startswith("["):
+                name, rest = line.rsplit("]", 1)
+                name += "]"
+                rest = rest.lstrip(":")
+            else:
+                name, rest = line.split(":", 1)
+            current = (name, rest)
+            body = []
+        else:
+            body.append(line)
+    if current is not None:
+        yield current[0], current[1], body
+
+
+def profile_size_bytes(profile: Union[FlatProfile, ContextProfile]) -> int:
+    """Size of the serialized profile — the scalability metric of sec. III.B."""
+    if isinstance(profile, ContextProfile):
+        return len(dump_context_profile(profile).encode("utf-8"))
+    return len(dump_flat_profile(profile).encode("utf-8"))

@@ -1,0 +1,40 @@
+"""Cold-context trimming (paper sec. III.B, "Scalability").
+
+Context-sensitive profiles can be ~10x larger than flat profiles on dense
+dynamic call graphs.  Since cold functions are unlikely to be inlined, the
+paper keeps context-sensitive profile only for hot contexts and merges cold
+contexts back into the leaf function's base (context-insensitive) profile —
+"comparable in size to regular profile, without losing its benefit".
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .context import base_context
+from .profiles import ContextProfile
+
+
+def trim_cold_contexts(profile: ContextProfile,
+                       hot_fraction: float = 0.002) -> Tuple[int, int]:
+    """Merge cold contexts into base contexts, in place.
+
+    A context is cold when its total is below ``hot_fraction`` of the whole
+    profile's total samples.  Returns (kept, merged) context counts.
+    """
+    total = profile.total_samples()
+    threshold = total * hot_fraction
+    merged = 0
+    # A context is trimmed only when its whole *subtree* is cold: a thin
+    # wrapper on a hot path must keep its trie node, or the hot descendants
+    # would be orphaned from the context trie.
+    for context in sorted(list(profile.contexts), key=len, reverse=True):
+        if len(context) == 1:
+            continue  # already a base context
+        samples = profile.contexts.get(context)
+        if samples is None:
+            continue
+        if profile.subtree_total(context) < threshold:
+            profile.merge_context_into_base(context)
+            merged += 1
+    return len(profile.contexts), merged

@@ -1,0 +1,7 @@
+"""Profile-quality metrics."""
+
+from .overlap import (block_overlap_function, block_overlap_program,
+                      module_block_counts)
+
+__all__ = ["block_overlap_function", "block_overlap_program",
+           "module_block_counts"]

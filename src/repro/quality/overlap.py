@@ -1,0 +1,67 @@
+"""Block-overlap profile-quality metric (paper sec. IV.C, Table I).
+
+For a function with block set V, test counts f(v) and ground-truth counts
+gt(v)::
+
+    D(V) = sum_v min( f(v) / sum f ,  gt(v) / sum gt )
+
+and for a program, the f-weighted aggregation over functions::
+
+    D(P) = sum_V D(V) * (sum_{v in V} f(v)) / (sum_V sum_v f(v))
+
+Ground truth is the instrumentation-based profile (exact block counts);
+f is whatever a PGO variant annotated onto the same fresh IR.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ir.function import Function, Module
+
+
+def block_overlap_function(f_counts: Dict[str, float],
+                           gt_counts: Dict[str, float]) -> float:
+    """D(V) over a common block-label set."""
+    labels = set(f_counts) | set(gt_counts)
+    f_total = sum(f_counts.get(l, 0.0) for l in labels)
+    gt_total = sum(gt_counts.get(l, 0.0) for l in labels)
+    if f_total <= 0 or gt_total <= 0:
+        # Degenerate: identically-cold profiles overlap perfectly, a cold
+        # profile vs a warm ground truth overlaps not at all.
+        return 1.0 if f_total == gt_total else 0.0
+    overlap = 0.0
+    for label in labels:
+        overlap += min(f_counts.get(label, 0.0) / f_total,
+                       gt_counts.get(label, 0.0) / gt_total)
+    return overlap
+
+
+def block_overlap_program(f_profile: Dict[str, Dict[str, float]],
+                          gt_profile: Dict[str, Dict[str, float]]) -> float:
+    """D(P): weighted by each function's share of the test profile."""
+    functions = set(f_profile) | set(gt_profile)
+    grand_total = sum(sum(counts.values())
+                      for counts in f_profile.values())
+    if grand_total <= 0:
+        return 0.0
+    score = 0.0
+    for name in functions:
+        f_counts = f_profile.get(name, {})
+        gt_counts = gt_profile.get(name, {})
+        weight = sum(f_counts.values()) / grand_total
+        if weight <= 0:
+            continue
+        score += block_overlap_function(f_counts, gt_counts) * weight
+    return score
+
+
+def module_block_counts(module: Module) -> Dict[str, Dict[str, float]]:
+    """Extract annotated block counts: function -> {block label -> count}."""
+    result: Dict[str, Dict[str, float]] = {}
+    for name, fn in module.functions.items():
+        counts = {b.label: float(b.count) for b in fn.blocks
+                  if b.count is not None}
+        if counts:
+            result[name] = counts
+    return result

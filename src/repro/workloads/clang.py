@@ -1,0 +1,34 @@
+"""The client workload (paper sec. IV.D): a Clang-bootstrap-like program.
+
+What distinguishes a client workload from the servers, per the paper, is
+*sampling coverage*: servers run a long steady state so samples cover all hot
+paths, while a short-running client leaves much executed code unsampled,
+widening the gap between sampling-based and instrumentation-based PGO.
+
+We reproduce that by shape (a wide, compiler-like call graph with many
+moderately-warm functions rather than a few hot ones) and by a deliberately
+short training run (``TRAIN_REQUESTS`` much smaller than the servers').
+"""
+
+from __future__ import annotations
+
+from .generator import WorkloadSpec, build_workload
+
+CLANG_SPEC = WorkloadSpec(
+    "clang", seed=606,
+    n_leaf=22, n_dispatch=4, n_mid=12, n_wrapper=3, n_workers=4,
+    n_services=6,  # many "phases" of similar weight, like a compiler
+    regions_per_function=(2, 5),
+    requests=60,
+    hot_service_share=0.35,        # flat phase distribution
+    biased_branch_prob=0.7,
+    worker_call_prob=0.5)
+
+#: Short training run: the client-coverage handicap.
+TRAIN_REQUESTS = 40
+#: Full evaluation run.
+EVAL_REQUESTS = 240
+
+
+def build_clang_workload():
+    return build_workload(CLANG_SPEC)

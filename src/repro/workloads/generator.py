@@ -1,0 +1,455 @@
+"""Seeded synthetic program generator.
+
+Produces executable IR modules whose *profiles* stress the mechanisms the
+paper's experiments depend on:
+
+* hot/cold skew — services called at very different rates, biased branches;
+* context-sensitive callees — "dispatcher" functions whose control flow
+  depends on an argument that differs per call site (the paper's
+  ``scalarOp``/``scalarAdd``/``scalarSub`` pattern from Fig. 4);
+* loops (while-style and unrollable do-while self-loops), diamonds for
+  if-conversion, duplicate code for tail merge, invariant computation for
+  LICM;
+* tail-call wrappers that exercise the missing-frame inferrer.
+
+Programs are correct by construction: a pool of variables is initialized at
+function entry, regions assign only into that pool, and all control flow is
+structured (reducible).  Every generated program is deterministic in its
+inputs, so instrumented and sampled builds observe identical behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ir.debug_info import DebugLoc
+from ..ir.function import BasicBlock, Function, Module
+from ..ir.instructions import (Assign, BinOp, Br, Call, Cmp, CondBr, Load,
+                               Ret, Store)
+
+
+class WorkloadSpec:
+    """Shape parameters of a generated workload (see per-workload configs in
+    :mod:`repro.workloads.server`)."""
+
+    def __init__(
+        self,
+        name: str,
+        seed: int = 0,
+        n_leaf: int = 10,
+        n_dispatch: int = 3,
+        n_mid: int = 6,
+        n_wrapper: int = 2,
+        n_workers: int = 3,
+        n_services: int = 3,
+        regions_per_function: Tuple[int, int] = (2, 5),
+        straightline_len: Tuple[int, int] = (2, 6),
+        loop_trip_mod: Tuple[int, int] = (4, 16),
+        requests: int = 300,
+        hot_service_share: float = 0.7,
+        biased_branch_prob: float = 0.7,
+        worker_call_prob: float = 0.5,
+        n_global_arrays: int = 4,
+        global_array_size: int = 64,
+    ):
+        self.name = name
+        self.seed = seed
+        self.n_leaf = n_leaf
+        self.n_dispatch = n_dispatch
+        self.n_mid = n_mid
+        self.n_wrapper = n_wrapper
+        #: "Worker" callees whose loop trip counts and branch biases depend
+        #: on a caller-passed constant — the strongest context-sensitivity
+        #: pattern (what Fig. 3/4's scalarOp motivates, generalized).
+        self.n_workers = n_workers
+        self.n_services = n_services
+        self.regions_per_function = regions_per_function
+        self.straightline_len = straightline_len
+        self.loop_trip_mod = loop_trip_mod
+        self.requests = requests
+        self.hot_service_share = hot_service_share
+        self.biased_branch_prob = biased_branch_prob
+        self.worker_call_prob = worker_call_prob
+        self.n_global_arrays = n_global_arrays
+        self.global_array_size = global_array_size
+
+
+_BIN_CHOICES = ["add", "sub", "mul", "xor", "and", "or"]
+
+
+def _trip_mask(rng: random.Random, spec: WorkloadSpec) -> int:
+    """Power-of-two-minus-one mask spanning the configured trip range."""
+    low, high = spec.loop_trip_mod
+    candidates = [m for m in (3, 7, 15, 31, 63) if low - 1 <= m <= high * 2]
+    return rng.choice(candidates or [7])
+
+
+class _Emitter:
+    """Builds one function: tracks the current block, lines, and variables."""
+
+    def __init__(self, fn: Function, rng: random.Random, module: Module):
+        self.fn = fn
+        self.rng = rng
+        self.module = module
+        self.line = 1
+        self.var_pool: List[str] = []
+        self.block_counter = 0
+        self.current: Optional[BasicBlock] = None
+
+    def new_block(self, hint: str = "b") -> BasicBlock:
+        label = f"{hint}{self.block_counter}"
+        self.block_counter += 1
+        return self.fn.add_block(BasicBlock(label))
+
+    def emit(self, instr) -> None:
+        if instr.dloc is None:
+            instr.dloc = DebugLoc(self.line)
+            self.line += 1
+        self.current.instrs.append(instr)
+
+    def any_var(self) -> str:
+        return self.rng.choice(self.var_pool)
+
+    def operand(self):
+        if self.rng.random() < 0.3:
+            return self.rng.randint(0, 63)
+        return self.any_var()
+
+
+def _emit_straightline(em: _Emitter, length: int) -> None:
+    for _ in range(length):
+        choice = em.rng.random()
+        if choice < 0.70:
+            em.emit(BinOp(em.rng.choice(_BIN_CHOICES), em.any_var(),
+                          em.operand(), em.operand()))
+        elif choice < 0.85 and em.module.global_arrays:
+            array = em.rng.choice(sorted(em.module.global_arrays))
+            em.emit(Load(em.any_var(), array, em.operand()))
+        elif em.module.global_arrays:
+            array = em.rng.choice(sorted(em.module.global_arrays))
+            em.emit(Store(array, em.operand(), em.any_var()))
+        else:
+            em.emit(Assign(em.any_var(), em.operand()))
+
+
+def _emit_diamond(em: _Emitter, spec: WorkloadSpec,
+                  callables: Sequence[str]) -> None:
+    """if/else on data with a controlled bias; sides are small computations
+    (if-convert fodder) or occasionally calls (inline fodder)."""
+    rng = em.rng
+    cond = em.fn.fresh_reg("c")
+    biased = rng.random() < spec.biased_branch_prob
+    threshold = rng.choice([5, 90]) if biased else rng.randint(30, 70)
+    scaled = em.fn.fresh_reg("m")
+    em.emit(BinOp("srem", scaled, em.any_var(), 100))
+    em.emit(Cmp("slt", cond, scaled, threshold))
+    head = em.current
+    then_block = em.new_block("then")
+    else_block = em.new_block("else")
+    join = em.new_block("join")
+    em.emit(CondBr(cond, then_block.label, else_block.label))
+    for side in (then_block, else_block):
+        em.current = side
+        if callables and rng.random() < 0.25:
+            callee = rng.choice(callables)
+            em.emit(Call(em.any_var(), callee, [em.any_var(), em.operand()]))
+        else:
+            _emit_straightline(em, rng.randint(1, 3))
+        em.emit(Br(join.label))
+    em.current = join
+
+
+def _emit_while_loop(em: _Emitter, spec: WorkloadSpec,
+                     callables: Sequence[str]) -> None:
+    """``for (i = 0; i < (var % M) + 1; i++) body`` with optional call."""
+    rng = em.rng
+    trip = em.fn.fresh_reg("trip")
+    ivar = em.fn.fresh_reg("i")
+    cond = em.fn.fresh_reg("lc")
+    # Mask (always non-negative) rather than srem, so the trip count stays in
+    # [0, mask] even for negative inputs.
+    mask = _trip_mask(rng, spec)
+    em.emit(BinOp("and", trip, em.any_var(), mask))
+    em.emit(Assign(ivar, 0))
+    header = em.new_block("loop")
+    body = em.new_block("body")
+    exit_block = em.new_block("endloop")
+    em.emit(Br(header.label))
+    em.current = header
+    em.emit(Cmp("slt", cond, ivar, trip))
+    em.emit(CondBr(cond, body.label, exit_block.label))
+    em.current = body
+    _emit_straightline(em, rng.randint(1, 3))
+    if callables and rng.random() < 0.5:
+        callee = rng.choice(callables)
+        em.emit(Call(em.any_var(), callee, [em.any_var(), ivar]))
+    em.emit(BinOp("add", ivar, ivar, 1))
+    em.emit(Br(header.label))
+    em.current = exit_block
+
+
+def _emit_dowhile_selfloop(em: _Emitter, spec: WorkloadSpec) -> None:
+    """Single-block do-while: the unroller's target shape."""
+    rng = em.rng
+    trip = em.fn.fresh_reg("dtrip")
+    ivar = em.fn.fresh_reg("di")
+    cond = em.fn.fresh_reg("dc")
+    mask = _trip_mask(rng, spec)
+    em.emit(BinOp("and", trip, em.any_var(), mask))
+    em.emit(BinOp("add", trip, trip, 1))
+    em.emit(Assign(ivar, 0))
+    loop = em.new_block("dw")
+    exit_block = em.new_block("dwend")
+    em.emit(Br(loop.label))
+    em.current = loop
+    acc = em.any_var()
+    em.emit(BinOp(rng.choice(_BIN_CHOICES), acc, acc, ivar))
+    em.emit(BinOp("add", ivar, ivar, 1))
+    em.emit(Cmp("slt", cond, ivar, trip))
+    em.emit(CondBr(cond, loop.label, exit_block.label))
+    em.current = exit_block
+
+
+def _emit_region(em: _Emitter, spec: WorkloadSpec,
+                 callables: Sequence[str]) -> None:
+    roll = em.rng.random()
+    if roll < 0.35:
+        _emit_straightline(em, em.rng.randint(*spec.straightline_len))
+    elif roll < 0.60:
+        _emit_diamond(em, spec, callables)
+    elif roll < 0.80:
+        _emit_while_loop(em, spec, callables)
+    else:
+        _emit_dowhile_selfloop(em, spec)
+
+
+def _begin_function(module: Module, rng: random.Random, name: str,
+                    params: List[str], n_vars: int = 4) -> _Emitter:
+    fn = Function(name, params)
+    module.add_function(fn)
+    em = _Emitter(fn, rng, module)
+    em.current = em.new_block("entry")
+    # Initialize the variable pool from params and constants so every variable
+    # is defined on all paths.
+    for i in range(n_vars):
+        var = f"%v{i}"
+        if i < len(params):
+            em.emit(Assign(var, params[i]))
+        else:
+            em.emit(BinOp("add", var, params[0] if params else 0,
+                          rng.randint(1, 97)))
+        em.var_pool.append(var)
+    return em
+
+
+def _finish_function(em: _Emitter) -> None:
+    result = em.fn.fresh_reg("ret")
+    em.emit(BinOp("xor", result, em.any_var(), em.any_var()))
+    em.emit(BinOp("add", result, result, em.any_var()))
+    em.emit(Ret(result))
+
+
+def _gen_leaf(module: Module, rng: random.Random, spec: WorkloadSpec,
+              name: str) -> None:
+    em = _begin_function(module, rng, name, ["%a", "%b"])
+    for _ in range(rng.randint(*spec.regions_per_function)):
+        _emit_region(em, spec, callables=())
+    _finish_function(em)
+
+
+def _gen_dispatcher(module: Module, rng: random.Random, spec: WorkloadSpec,
+                    name: str, targets: List[str]) -> None:
+    """The Fig. 4 ``scalarOp`` pattern: which callee runs depends on ``%sel``,
+    and different call sites pass different ``%sel`` values — the profile of
+    this function is therefore strongly context-dependent."""
+    em = _begin_function(module, rng, name, ["%sel", "%x"], n_vars=3)
+    a_target, b_target = rng.sample(targets, 2)
+    cond = em.fn.fresh_reg("dsp")
+    em.emit(Cmp("slt", cond, "%sel", 50))
+    then_block = em.new_block("do_a")
+    else_block = em.new_block("do_b")
+    join = em.new_block("out")
+    em.emit(CondBr(cond, then_block.label, else_block.label))
+    em.current = then_block
+    em.emit(Call("%v0", a_target, ["%x", "%sel"]))
+    em.emit(Br(join.label))
+    em.current = else_block
+    em.emit(Call("%v0", b_target, ["%x", "%sel"]))
+    em.emit(Br(join.label))
+    em.current = join
+    em.emit(Ret("%v0"))
+
+
+def _gen_worker(module: Module, rng: random.Random, spec: WorkloadSpec,
+                name: str) -> None:
+    """A callee whose behaviour is controlled by its first argument.
+
+    ``%cfg`` determines both the trip count of the inner loop (``cfg & 31``)
+    and the direction of a data branch, so every call site passing a
+    constant gets a sharply different profile — merged (context-insensitive)
+    profiles mis-drive unrolling, if-conversion, layout and spill placement
+    for every inlined copy.
+    """
+    em = _begin_function(module, rng, name, ["%cfg", "%x"], n_vars=3)
+    trip = em.fn.fresh_reg("wt")
+    ivar = em.fn.fresh_reg("wi")
+    cond = em.fn.fresh_reg("wc")
+    em.emit(BinOp("and", trip, "%cfg", 31))
+    em.emit(BinOp("add", trip, trip, 1))
+    em.emit(Assign(ivar, 0))
+    loop = em.new_block("wloop")
+    after = em.new_block("wafter")
+    em.emit(Br(loop.label))
+    em.current = loop
+    acc = em.any_var()
+    em.emit(BinOp(rng.choice(_BIN_CHOICES), acc, acc, ivar))
+    em.emit(BinOp("add", ivar, ivar, 1))
+    em.emit(Cmp("slt", cond, ivar, trip))
+    em.emit(CondBr(cond, loop.label, after.label))
+    em.current = after
+    # Branch whose direction is decided by the caller's constant.
+    bsel = em.fn.fresh_reg("wb")
+    em.emit(Cmp("slt", bsel, "%cfg", 16))
+    small = em.new_block("wsmall")
+    big = em.new_block("wbig")
+    join = em.new_block("wjoin")
+    em.emit(CondBr(bsel, small.label, big.label))
+    em.current = small
+    _emit_straightline(em, 2)
+    em.emit(Br(join.label))
+    em.current = big
+    _emit_straightline(em, 3)
+    em.emit(Br(join.label))
+    em.current = join
+    _finish_function(em)
+
+
+def _gen_mid(module: Module, rng: random.Random, spec: WorkloadSpec,
+             name: str, leaves: List[str], dispatchers: List[str],
+             workers: List[str]) -> None:
+    em = _begin_function(module, rng, name, ["%x", "%y"])
+    for _ in range(rng.randint(*spec.regions_per_function)):
+        _emit_region(em, spec, callables=leaves)
+    # Context-sensitive dispatcher calls: this call site always selects one
+    # side by passing a constant selector.
+    for dispatcher in rng.sample(dispatchers, min(2, len(dispatchers))):
+        selector = rng.choice([3, 97])  # deterministically below/above 50
+        em.emit(Call(em.any_var(), dispatcher, [selector, em.any_var()]))
+    # Context-sensitive worker calls: a constant picks the worker's whole
+    # behaviour (hot long loop vs short fall-through path).
+    if workers and rng.random() < spec.worker_call_prob:
+        worker = rng.choice(workers)
+        config_value = rng.choice([2, 30])  # short vs long inner loop
+        em.emit(Call(em.any_var(), worker, [config_value, em.any_var()]))
+    _finish_function(em)
+
+
+def _gen_wrapper(module: Module, rng: random.Random, spec: WorkloadSpec,
+                 name: str, target: str) -> None:
+    """Thin wrapper ending in ``return target(...)`` — a tail call after TCE.
+
+    Wrappers are marked noinline (modeling a cross-module boundary the
+    inliner will not cross) so their frames genuinely vanish from stack
+    samples via tail-call elimination, exercising the frame inferrer.
+    """
+    em = _begin_function(module, rng, name, ["%x"], n_vars=2)
+    em.fn.noinline = True
+    _emit_straightline(em, 2)
+    result = em.fn.fresh_reg("tc")
+    em.emit(Call(result, target, [em.any_var(), "%x"]))
+    em.emit(Ret(result))
+
+
+def _gen_service(module: Module, rng: random.Random, spec: WorkloadSpec,
+                 name: str, mids: List[str], wrappers: List[str]) -> None:
+    em = _begin_function(module, rng, name, ["%req"])
+    for _ in range(rng.randint(*spec.regions_per_function)):
+        _emit_region(em, spec, callables=mids + wrappers)
+    callees = rng.sample(mids, min(2, len(mids)))
+    for callee in callees:
+        em.emit(Call(em.any_var(), callee, ["%req", em.operand()]))
+    if wrappers and rng.random() < 0.8:
+        em.emit(Call(em.any_var(), rng.choice(wrappers), ["%req"]))
+    _finish_function(em)
+
+
+def _gen_main(module: Module, rng: random.Random, spec: WorkloadSpec,
+              services: List[str]) -> None:
+    """Request loop: the first service takes ``hot_service_share`` of traffic,
+    the rest split the remainder — the fleet-like hot/cold skew."""
+    em = _begin_function(module, rng, "main", ["%n"], n_vars=3)
+    em.emit(Assign("%r", 0))
+    em.emit(Assign("%acc", 0))
+    header = em.new_block("reqloop")
+    body = em.new_block("reqbody")
+    done = em.new_block("done")
+    em.emit(Br(header.label))
+    em.current = header
+    cond = "%mc"
+    em.emit(Cmp("slt", cond, "%r", "%n"))
+    em.emit(CondBr(cond, body.label, done.label))
+    em.current = body
+    hot_cut = int(spec.hot_service_share * 100)
+    em.emit(BinOp("srem", "%pick", "%r", 100))
+    current_join = None
+    cold_services = services[1:] or services[:1]
+    # if pick < hot_cut: hot service; else round-robin over the rest.
+    hot_block = em.new_block("hot")
+    cold_block = em.new_block("cold")
+    join = em.new_block("reqjoin")
+    em.emit(Cmp("slt", "%ish", "%pick", hot_cut))
+    em.emit(CondBr("%ish", hot_block.label, cold_block.label))
+    em.current = hot_block
+    em.emit(Call("%res", services[0], ["%r"]))
+    em.emit(Br(join.label))
+    em.current = cold_block
+    prev = cold_block
+    em.emit(BinOp("srem", "%which", "%r", len(cold_services)))
+    for idx, service in enumerate(cold_services):
+        if idx == len(cold_services) - 1:
+            em.emit(Call("%res", service, ["%r"]))
+            em.emit(Br(join.label))
+        else:
+            next_block = em.new_block(f"cold{idx + 1}")
+            em.emit(Cmp("eq", "%isw", "%which", idx))
+            sel_block = em.new_block(f"sel{idx}")
+            em.emit(CondBr("%isw", sel_block.label, next_block.label))
+            em.current = sel_block
+            em.emit(Call("%res", service, ["%r"]))
+            em.emit(Br(join.label))
+            em.current = next_block
+    em.current = join
+    em.emit(BinOp("add", "%acc", "%acc", "%res"))
+    em.emit(BinOp("add", "%r", "%r", 1))
+    em.emit(Br(header.label))
+    em.current = done
+    em.emit(Ret("%acc"))
+
+
+def build_workload(spec: WorkloadSpec) -> Module:
+    """Generate the full module for ``spec`` (deterministic in ``spec.seed``)."""
+    rng = random.Random(spec.seed)
+    module = Module(spec.name)
+    for i in range(spec.n_global_arrays):
+        module.global_arrays[f"@g{i}"] = spec.global_array_size
+    leaves = [f"leaf_{i}" for i in range(spec.n_leaf)]
+    for name in leaves:
+        _gen_leaf(module, rng, spec, name)
+    dispatchers = [f"dispatch_{i}" for i in range(spec.n_dispatch)]
+    for name in dispatchers:
+        _gen_dispatcher(module, rng, spec, name, leaves)
+    workers = [f"worker_{i}" for i in range(spec.n_workers)]
+    for name in workers:
+        _gen_worker(module, rng, spec, name)
+    mids = [f"mid_{i}" for i in range(spec.n_mid)]
+    for name in mids:
+        _gen_mid(module, rng, spec, name, leaves, dispatchers, workers)
+    wrappers = [f"wrap_{i}" for i in range(spec.n_wrapper)]
+    for i, name in enumerate(wrappers):
+        _gen_wrapper(module, rng, spec, name, rng.choice(mids))
+    services = [f"svc_{i}" for i in range(spec.n_services)]
+    for name in services:
+        _gen_service(module, rng, spec, name, mids, wrappers)
+    _gen_main(module, rng, spec, services)
+    return module

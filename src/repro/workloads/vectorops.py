@@ -1,0 +1,65 @@
+"""The paper's Fig. 4 example program, verbatim in our IR.
+
+``scalarAdd`` is only ever reached through ``addVectorHead -> scalarOp`` and
+``scalarSub`` only through ``subVectorHead -> scalarOp``; a context-sensitive
+profile sees two different ``scalarOp`` behaviours while a flat profile
+conflates them (Fig. 3a vs 3b).  Used by the quickstart example and by tests
+that check post-inline profile accuracy.
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import ModuleBuilder
+from ..ir.function import Module
+
+#: Selector constants: scalarOp(op, a, b) adds when op == 0, subtracts else.
+OP_ADD = 0
+OP_SUB = 1
+
+
+def build_vectorops(vector_len: int = 64, iterations: int = 50) -> Module:
+    """Build the Fig. 4 program: main alternates vector adds and subs."""
+    mb = ModuleBuilder("vectorops")
+    mb.global_array("@a", vector_len)
+    mb.global_array("@b", vector_len)
+    mb.global_array("@out", vector_len)
+
+    f = mb.function("scalarAdd", ["%x", "%y"])
+    f.block("entry").add("%r", "%x", "%y").ret("%r")
+
+    f = mb.function("scalarSub", ["%x", "%y"])
+    f.block("entry").sub("%r", "%x", "%y").ret("%r")
+
+    f = mb.function("scalarOp", ["%op", "%x", "%y"])
+    f.block("entry").cmp("eq", "%isadd", "%op", OP_ADD) \
+        .condbr("%isadd", "do_add", "do_sub")
+    f.block("do_add").call("%r", "scalarAdd", ["%x", "%y"]).br("out")
+    f.block("do_sub").call("%r", "scalarSub", ["%x", "%y"]).br("out")
+    f.block("out").ret("%r")
+
+    for name, op in (("addVectorHead", OP_ADD), ("subVectorHead", OP_SUB)):
+        f = mb.function(name, ["%n"])
+        f.block("entry").mov("%i", 0).mov("%acc", 0).br("loop")
+        f.block("loop").cmp("slt", "%c", "%i", "%n").condbr("%c", "body", "done")
+        (f.block("body")
+            .load("%x", "@a", "%i")
+            .load("%y", "@b", "%i")
+            .call("%r", "scalarOp", [op, "%x", "%y"])
+            .store("@out", "%i", "%r")
+            .add("%acc", "%acc", "%r")
+            .add("%i", "%i", 1)
+            .br("loop"))
+        f.block("done").ret("%acc")
+
+    f = mb.function("main", ["%n"])
+    f.block("entry").mov("%it", 0).mov("%total", 0).br("outer")
+    f.block("outer").cmp("slt", "%c", "%it", "%n").condbr("%c", "work", "exit")
+    (f.block("work")
+        .call("%s1", "addVectorHead", [vector_len])
+        .call("%s2", "subVectorHead", [vector_len])
+        .add("%total", "%total", "%s1")
+        .add("%total", "%total", "%s2")
+        .add("%it", "%it", 1)
+        .br("outer"))
+    f.block("exit").ret("%total")
+    return mb.build()

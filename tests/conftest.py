@@ -1,0 +1,75 @@
+"""Shared test fixtures and small program builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import IRInterpreter, ModuleBuilder, Module, verify_module
+
+
+def build_loop_module(trip_reg: str = "%n") -> Module:
+    """main(n): sum of 0..n-1 via a simple while loop."""
+    mb = ModuleBuilder("loop")
+    f = mb.function("main", [trip_reg])
+    f.block("entry").mov("%i", 0).mov("%sum", 0).br("loop")
+    f.block("loop").cmp("slt", "%c", "%i", trip_reg).condbr("%c", "body", "exit")
+    f.block("body").add("%sum", "%sum", "%i").add("%i", "%i", 1).br("loop")
+    f.block("exit").ret("%sum")
+    module = mb.build()
+    verify_module(module)
+    return module
+
+
+def build_diamond_module(threshold: int = 5) -> Module:
+    """main(x): diamond on x < threshold computing different values."""
+    mb = ModuleBuilder("diamond")
+    f = mb.function("main", ["%x"])
+    f.block("entry").cmp("slt", "%c", "%x", threshold).condbr("%c", "then", "else")
+    f.block("then").mul("%r", "%x", 3).br("join")
+    f.block("else").add("%r", "%x", 100).br("join")
+    f.block("join").ret("%r")
+    module = mb.build()
+    verify_module(module)
+    return module
+
+
+def build_call_module() -> Module:
+    """main(n) -> helper(n) -> n * 2 + 1, exercising calls and returns."""
+    mb = ModuleBuilder("calls")
+    f = mb.function("helper", ["%v"])
+    f.block("entry").mul("%d", "%v", 2).add("%d", "%d", 1).ret("%d")
+    f = mb.function("main", ["%n"])
+    f.block("entry").call("%r", "helper", ["%n"]).add("%r", "%r", 10).ret("%r")
+    module = mb.build()
+    verify_module(module)
+    return module
+
+
+def run_ir(module: Module, args, max_steps: int = 10_000_000):
+    return IRInterpreter(module.clone(), max_steps=max_steps).run(args)
+
+
+@pytest.fixture
+def loop_module() -> Module:
+    return build_loop_module()
+
+
+@pytest.fixture
+def diamond_module() -> Module:
+    return build_diamond_module()
+
+
+@pytest.fixture
+def call_module() -> Module:
+    return build_call_module()
+
+
+@pytest.fixture
+def small_workload() -> Module:
+    from repro.workloads import WorkloadSpec, build_workload
+    module = build_workload(WorkloadSpec("small", seed=5, n_leaf=4,
+                                         n_dispatch=2, n_mid=3, n_wrapper=1,
+                                         n_workers=2, n_services=2,
+                                         requests=60))
+    verify_module(module)
+    return module

@@ -1,0 +1,171 @@
+"""Annotation: matchers, drift handling, the CSSPGO sample loader."""
+
+import pytest
+
+from repro.annotate import (ChecksumMismatch, annotate_function_dwarf,
+                            annotate_function_probe, apply_cfg_drift,
+                            apply_comment_drift, csspgo_sample_loader)
+from repro.ir import Call, verify_module
+from repro.opt import function_size
+from repro.probes import insert_pseudo_probes
+from repro.profile import (ATTR_SHOULD_INLINE, ContextProfile,
+                           FunctionSamples, base_context, make_context)
+from tests.conftest import build_loop_module, run_ir
+
+
+def _loop_samples_dwarf():
+    samples = FunctionSamples("main")
+    samples.head = 10.0
+    # lines: 1-3 entry; 4-5 loop; 6-8 body; 9 ret
+    samples.body = {(1, 0): 10.0, (4, 0): 510.0, (6, 0): 500.0, (9, 0): 10.0}
+    samples.finalize()
+    return samples
+
+
+class TestDwarfMatching:
+    def test_block_counts_from_line_max(self):
+        module = build_loop_module()
+        fn = module.function("main")
+        annotate_function_dwarf(fn, _loop_samples_dwarf())
+        assert fn.block("loop").count == 510.0
+        assert fn.block("body").count == 500.0
+        assert fn.entry_count == 10.0
+
+    def test_comment_drift_poisons_line_matching(self):
+        module = build_loop_module()
+        apply_comment_drift(module, "main", at_line=3, shift=2)
+        fn = module.function("main")
+        annotate_function_dwarf(fn, _loop_samples_dwarf())
+        # Lines shifted: the hot body line (5) is now attributed elsewhere.
+        assert fn.block("body").count != 500.0
+
+    def test_drift_preserves_semantics(self):
+        module = build_loop_module()
+        before = run_ir(module, [9]).return_value
+        apply_comment_drift(module, "main", at_line=3)
+        assert run_ir(module, [9]).return_value == before
+        module2 = build_loop_module()
+        apply_cfg_drift(module2, "main")
+        verify_module(module2)
+        assert run_ir(module2, [9]).return_value == before
+
+
+class TestProbeMatching:
+    def _probe_samples(self, fn):
+        samples = FunctionSamples("main")
+        samples.head = 10.0
+        samples.body = {1: 10.0, 2: 510.0, 3: 500.0, 4: 10.0}
+        samples.checksum = fn.probe_checksum
+        samples.finalize()
+        return samples
+
+    def test_counts_by_probe_id(self):
+        module = build_loop_module()
+        insert_pseudo_probes(module)
+        fn = module.function("main")
+        annotate_function_probe(fn, self._probe_samples(fn))
+        assert fn.block("loop").count == 510.0
+        assert fn.block("body").count == 500.0
+
+    def test_probe_matching_survives_comment_drift(self):
+        module = build_loop_module()
+        insert_pseudo_probes(module)
+        fn = module.function("main")
+        samples = self._probe_samples(fn)
+        # Drift the source, recompile (re-insert probes on fresh clone).
+        drifted = build_loop_module()
+        apply_comment_drift(drifted, "main", at_line=3, shift=2)
+        insert_pseudo_probes(drifted)
+        dfn = drifted.function("main")
+        annotate_function_probe(dfn, samples)  # same checksum: accepted
+        assert dfn.block("body").count == 500.0
+
+    def test_cfg_drift_rejected_by_checksum(self):
+        module = build_loop_module()
+        insert_pseudo_probes(module)
+        samples = self._probe_samples(module.function("main"))
+        drifted = build_loop_module()
+        apply_cfg_drift(drifted, "main")
+        insert_pseudo_probes(drifted)
+        with pytest.raises(ChecksumMismatch):
+            annotate_function_probe(drifted.function("main"), samples)
+
+    def test_dangling_probe_annotates_unknown(self):
+        module = build_loop_module()
+        insert_pseudo_probes(module)
+        fn = module.function("main")
+        samples = self._probe_samples(fn)
+        del samples.body[3]
+        samples.dangling.add(3)
+        annotate_function_probe(fn, samples)
+        assert fn.block("body").count is None  # inference's job
+
+    def test_missing_probe_annotates_zero(self):
+        module = build_loop_module()
+        insert_pseudo_probes(module)
+        fn = module.function("main")
+        samples = self._probe_samples(fn)
+        del samples.body[4]
+        annotate_function_probe(fn, samples)
+        assert fn.block("exit").count == 0.0
+
+
+class TestCsspgoLoader:
+    def _module_and_profile(self, mark=True):
+        from repro.ir import ModuleBuilder
+        mb = ModuleBuilder("m")
+        f = mb.function("callee", ["%v"])
+        f.block("entry").add("%r", "%v", 2).ret("%r")
+        f = mb.function("main", ["%n"])
+        f.block("entry").call("%r", "callee", ["%n"]).ret("%r")
+        module = mb.build()
+        insert_pseudo_probes(module)
+        main = module.function("main")
+        callee = module.function("callee")
+        call = main.block("entry").calls()[0]
+
+        profile = ContextProfile()
+        base_main = profile.get_or_create(base_context("main"))
+        base_main.head = 100.0
+        base_main.body = {1: 100.0}
+        base_main.checksum = main.probe_checksum
+        ctx = make_context(("main", call.probe_id), ("callee", None))
+        child = profile.get_or_create(ctx)
+        child.head = 100.0
+        child.body = {1: 100.0}
+        child.checksum = callee.probe_checksum
+        if mark:
+            child.attributes.add(ATTR_SHOULD_INLINE)
+        profile.finalize()
+        return module, profile, ctx
+
+    def test_marked_context_inlined_and_annotated(self):
+        module, profile, ctx = self._module_and_profile()
+        stats = csspgo_sample_loader(module, profile)
+        assert ctx in stats.inlined_contexts
+        main = module.function("main")
+        assert not [i for i in main.instructions() if isinstance(i, Call)]
+        verify_module(module)
+        assert run_ir(module, [5]).return_value == 7
+
+    def test_unmarked_context_left_as_call(self):
+        module, profile, _ctx = self._module_and_profile(mark=False)
+        stats = csspgo_sample_loader(module, profile)
+        assert not stats.inlined_contexts
+        assert module.function("main").callees() == ["callee"]
+
+    def test_noinline_decision_merged_to_base(self):
+        module, profile, ctx = self._module_and_profile()
+        module.function("callee").noinline = True
+        stats = csspgo_sample_loader(module, profile)
+        assert not stats.inlined_contexts
+        # The context's samples flowed into callee's base profile.
+        assert profile.base("callee") is not None
+        assert profile.base("callee").total == 100.0
+
+    def test_checksum_mismatch_blocks_inline(self):
+        module, profile, ctx = self._module_and_profile()
+        profile.contexts[ctx].checksum = 1  # wrong
+        stats = csspgo_sample_loader(module, profile)
+        assert not stats.inlined_contexts
+        assert stats.rejected_checksum

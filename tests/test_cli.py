@@ -1,0 +1,33 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_workloads_lists_fleet(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("adranker", "hhvm", "haas"):
+            assert name in out
+
+    def test_profile_dump(self, tmp_path, capsys):
+        out_file = tmp_path / "ctx.prof"
+        assert main(["--period", "31", "--seed", "4",
+                     "profile", "demo", "-o", str(out_file)]) == 0
+        text = out_file.read_text()
+        assert text.startswith("# kind: context")
+        assert "[main" in text
+
+    def test_profile_round_trips(self, tmp_path):
+        from repro.profile import load_context_profile
+        out_file = tmp_path / "ctx.prof"
+        main(["--period", "31", "--seed", "4",
+              "profile", "demo", "-o", str(out_file)])
+        profile = load_context_profile(out_file.read_text())
+        assert profile.total_samples() > 0
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

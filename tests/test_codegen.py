@@ -1,0 +1,205 @@
+"""Codegen: lowering, register allocation, linking, size accounting."""
+
+from repro.codegen import (INSTR_SIZES, LowerConfig, NUM_PHYS_REGS, TEXT_BASE,
+                           build_dwarf, build_probe_metadata, choose_spills,
+                           link, lower_function, measure_sizes, spill_weights)
+from repro.ir import ModuleBuilder, verify_module
+from repro.opt import optimize_module, OptConfig
+from repro.probes import insert_pseudo_probes, instrument_module
+from tests.conftest import (build_call_module, build_diamond_module,
+                            build_loop_module)
+
+
+class TestLowering:
+    def test_probes_emit_no_instructions(self):
+        plain = build_loop_module()
+        probed = build_loop_module()
+        insert_pseudo_probes(probed)
+        plain_binary = link(plain)
+        probed_binary = link(probed)
+        assert probed_binary.text_size == plain_binary.text_size
+
+    def test_probes_materialize_on_next_instruction(self):
+        module = build_loop_module()
+        insert_pseudo_probes(module)
+        binary = link(module)
+        anchored = [i for i in binary.instrs if i.probes]
+        # One anchor per block (4 blocks).
+        assert len(anchored) == 4
+        for minstr in anchored:
+            assert minstr.kind != "nop" or True
+
+    def test_counters_emit_real_instructions(self):
+        module = build_loop_module()
+        instrument_module(module)
+        binary = link(module)
+        counts = [i for i in binary.instrs if i.kind == "count"]
+        assert len(counts) == 4
+
+    def test_fallthrough_branch_elision(self):
+        module = build_loop_module()
+        binary = link(module)
+        # entry falls through to loop: no jmp from entry block.
+        entry_instrs = [i for i in binary.instrs if i.block_label == "entry"]
+        assert all(i.kind != "jmp" for i in entry_instrs)
+
+    def test_condbr_negation_for_true_fallthrough(self):
+        mb = ModuleBuilder("m")
+        f = mb.function("main", ["%x"])
+        f.block("entry").cmp("slt", "%c", "%x", 5).condbr("%c", "next", "far")
+        f.block("next").ret(1)
+        f.block("far").ret(2)
+        binary = link(mb.build())
+        br = next(i for i in binary.instrs if i.kind == "br")
+        assert br.negated  # jump to 'far' when condition is false
+
+    def test_tail_call_emitted(self):
+        module = build_call_module()
+        # rewrite main: call immediately followed by ret of result
+        main = module.function("main")
+        main.block("entry").instrs = main.block("entry").instrs[:1]
+        from repro.ir import Ret
+        main.block("entry").instrs.append(Ret("%r"))
+        verify_module(module)
+        binary = link(module)
+        kinds = [i.kind for i in binary.instrs if i.func == "main"]
+        assert "tailcall" in kinds and "call" not in kinds
+
+    def test_tce_can_be_disabled(self):
+        module = build_call_module()
+        main = module.function("main")
+        from repro.ir import Ret
+        main.block("entry").instrs = main.block("entry").instrs[:1] + [Ret("%r")]
+        binary = link(module, config=LowerConfig(enable_tce=False))
+        kinds = [i.kind for i in binary.instrs if i.func == "main"]
+        assert "call" in kinds and "tailcall" not in kinds
+
+
+class TestRegalloc:
+    def _pressure_module(self, num_values: int):
+        mb = ModuleBuilder("m")
+        f = mb.function("main", ["%x"])
+        f.block("entry")
+        for i in range(num_values):
+            f.add(f"%v{i}", "%x", i)
+        f.br("use")
+        f.block("use")
+        acc = "%acc"
+        f.mov(acc, 0)
+        for i in range(num_values):
+            f.add(acc, acc, f"%v{i}")
+        f.ret(acc)
+        return mb.build()
+
+    def test_low_pressure_no_spills(self):
+        module = self._pressure_module(4)
+        assert choose_spills(module.function("main")) == []
+
+    def test_high_pressure_spills(self):
+        module = self._pressure_module(NUM_PHYS_REGS + 6)
+        spilled = choose_spills(module.function("main"))
+        assert len(spilled) >= 6
+
+    def test_profile_guided_victims_are_cold(self):
+        module = self._pressure_module(NUM_PHYS_REGS + 2)
+        fn = module.function("main")
+        weights = spill_weights(fn)
+        spilled = choose_spills(fn)
+        if spilled:
+            unspilled_live = [r for r in weights if r not in spilled]
+            assert max(weights[s] for s in spilled) <= max(
+                weights[r] for r in unspilled_live)
+
+    def test_spill_code_emitted(self):
+        module = self._pressure_module(NUM_PHYS_REGS + 6)
+        binary = link(module)
+        kinds = {i.kind for i in binary.instrs}
+        assert "spill_ld" in kinds and "spill_st" in kinds
+
+
+class TestBinary:
+    def test_addresses_monotonic(self):
+        binary = link(build_call_module())
+        addrs = [i.addr for i in binary.instrs]
+        assert addrs == sorted(addrs)
+        assert addrs[0] == TEXT_BASE
+
+    def test_text_size_is_sum_of_instr_sizes(self):
+        binary = link(build_call_module())
+        assert binary.text_size == sum(i.size for i in binary.instrs)
+
+    def test_function_at_resolves(self):
+        binary = link(build_call_module())
+        for name, sym in binary.symbols.items():
+            assert binary.function_at(sym.entry_addr) == name
+
+    def test_next_instr_addr(self):
+        binary = link(build_call_module())
+        first = binary.instrs[0]
+        assert binary.next_instr_addr(first.addr) == first.addr + first.size
+
+    def test_hot_function_ordering(self):
+        module = build_call_module()
+        module.function("helper").entry_count = 1000.0
+        module.function("main").entry_count = 1.0
+        binary = link(module)
+        assert (binary.symbols["helper"].entry_addr
+                < binary.symbols["main"].entry_addr)
+
+    def test_cold_blocks_placed_after_hot_text(self):
+        module = build_diamond_module()
+        fn = module.function("main")
+        fn.block("else").is_cold = True
+        fn.blocks = [b for b in fn.blocks if not b.is_cold] + \
+                    [b for b in fn.blocks if b.is_cold]
+        fn.reindex()
+        binary = link(module)
+        sym = binary.symbols["main"]
+        assert sym.cold_range is not None
+        assert sym.cold_range[0] >= sym.hot_range[1]
+
+    def test_branch_targets_resolved(self):
+        binary = link(build_loop_module())
+        for minstr in binary.instrs:
+            if minstr.kind in ("jmp", "br", "call", "tailcall"):
+                assert minstr.target_addr is not None
+                assert binary.has_addr(minstr.target_addr)
+
+
+class TestSizes:
+    def test_probe_metadata_counts_records(self):
+        module = build_loop_module()
+        insert_pseudo_probes(module)
+        binary = link(module)
+        meta = build_probe_metadata(binary, module)
+        assert meta.num_records == 4
+        assert meta.size_bytes > 0
+        main_guid = module.function("main").guid
+        assert meta.checksums[main_guid] == module.function("main").probe_checksum
+
+    def test_dwarf_rows_per_instruction(self):
+        binary = link(build_loop_module())
+        dwarf = build_dwarf(binary)
+        rows_with_loc = sum(1 for i in binary.instrs if i.dloc is not None)
+        assert len(dwarf.rows) == rows_with_loc
+
+    def test_inline_frames_cost_metadata(self):
+        module = build_call_module()
+        insert_pseudo_probes(module)
+        from repro.opt import inline_call
+        entry = module.function("main").block("entry")
+        call_idx = next(i for i, instr in enumerate(entry.instrs)
+                        if instr.opcode == "call")
+        inline_call(module, module.function("main"), "entry", call_idx)
+        binary = link(module)
+        meta = build_probe_metadata(binary, module)
+        inlined = [r for _a, r in meta.iter_records() if r.inline_stack]
+        assert inlined
+
+    def test_measure_sizes_totals(self):
+        module = build_loop_module()
+        insert_pseudo_probes(module)
+        binary = link(module)
+        sizes = measure_sizes(binary)
+        assert sizes.total == sizes.text + sizes.dwarf + sizes.probe_metadata
+        assert 0 < sizes.probe_metadata_share() < 1

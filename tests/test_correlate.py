@@ -1,0 +1,198 @@
+"""Correlation: Algorithm 1 unwinding, frame inference, profile generation."""
+
+from repro.codegen import build_probe_metadata, link
+from repro.correlate import (FrameInferrer, TailCallGraph, Unwinder,
+                             generate_context_profile, generate_dwarf_profile,
+                             generate_probe_profile)
+from repro.hw import PMUConfig, execute, make_pmu
+from repro.ir import ModuleBuilder, verify_module
+from repro.opt import OptConfig, optimize_module
+from repro.probes import insert_pseudo_probes
+from repro.profile import base_context, format_context
+from tests.conftest import build_call_module, build_loop_module, run_ir
+
+
+def _profile_setup(module, args, period=13):
+    binary = link(module)
+    meta = build_probe_metadata(binary, module)
+    pmu = make_pmu(PMUConfig(period=period))
+    result = execute(binary, args, pmu=pmu)
+    data = pmu.finish(result.instructions_retired)
+    return binary, meta, data, result
+
+
+class TestDwarfProfile:
+    def test_hot_lines_get_high_counts(self):
+        module = build_loop_module()
+        binary, _meta, data, result = _profile_setup(module, [400])
+        profile = generate_dwarf_profile(binary, data)
+        main = profile.get("main")
+        assert main is not None and main.total > 0
+        # body lines (5, 6) must dominate entry lines (1, 2).
+        body = max(main.body.get((5, 0), 0), main.body.get((6, 0), 0))
+        entry = max(main.body.get((1, 0), 0), main.body.get((2, 0), 0))
+        assert body > entry * 10
+
+    def test_call_targets_recorded(self):
+        module = build_call_module()
+        # Loop around the call so samples exist.
+        mb = ModuleBuilder("m")
+        f = mb.function("helper", ["%v"])
+        f.block("entry").mul("%d", "%v", 2).ret("%d")
+        f = mb.function("main", ["%n"])
+        f.block("entry").mov("%i", 0).mov("%s", 0).br("loop")
+        f.block("loop").cmp("slt", "%c", "%i", "%n").condbr("%c", "body", "out")
+        (f.block("body").call("%r", "helper", ["%i"])
+            .add("%s", "%s", "%r").add("%i", "%i", 1).br("loop"))
+        f.block("out").ret("%s")
+        module = mb.build()
+        binary, _meta, data, _res = _profile_setup(module, [500])
+        profile = generate_dwarf_profile(binary, data)
+        assert profile.get("helper").head > 0
+        call_targets = [t for targets in profile.get("main").calls.values()
+                        for t in targets]
+        assert "helper" in call_targets
+
+
+class TestProbeProfile:
+    def test_counts_proportional_to_execution(self):
+        module = build_loop_module()
+        insert_pseudo_probes(module)
+        ir_counts = run_ir(module, [400]).block_counts
+        binary, meta, data, result = _profile_setup(module, [400])
+        profile = generate_probe_profile(binary, data, meta)
+        main = profile.get("main")
+        # probe 2 = loop header, probe 3 = body (blocks numbered in order).
+        sampled_ratio = main.body[3] / main.body[2]
+        true_ratio = (ir_counts[("main", "body")]
+                      / ir_counts[("main", "loop")])
+        assert abs(sampled_ratio - true_ratio) < 0.15
+
+    def test_checksum_embedded(self):
+        module = build_loop_module()
+        insert_pseudo_probes(module)
+        binary, meta, data, _res = _profile_setup(module, [200])
+        profile = generate_probe_profile(binary, data, meta)
+        assert (profile.get("main").checksum
+                == module.function("main").probe_checksum)
+
+
+class TestContextProfile:
+    def _two_callers(self):
+        mb = ModuleBuilder("m")
+        f = mb.function("compute", ["%v"])
+        f.block("entry").mov("%i", 0).br("loop")
+        (f.block("loop").add("%i", "%i", 1)
+            .cmp("slt", "%c", "%i", "%v").condbr("%c", "loop", "out"))
+        f.block("out").ret("%i")
+        f = mb.function("caller_a", ["%n"])
+        f.block("entry").call("%r", "compute", [30]).ret("%r")
+        f = mb.function("caller_b", ["%n"])
+        f.block("entry").call("%r", "compute", [2]).ret("%r")
+        f = mb.function("main", ["%n"])
+        f.block("entry").mov("%i", 0).mov("%s", 0).br("loop")
+        f.block("loop").cmp("slt", "%c", "%i", "%n").condbr("%c", "body", "out")
+        (f.block("body").call("%x", "caller_a", ["%i"])
+            .call("%y", "caller_b", ["%i"])
+            .add("%s", "%s", "%x").add("%s", "%s", "%y")
+            .add("%i", "%i", 1).br("loop"))
+        f.block("out").ret("%s")
+        module = mb.build()
+        for name in ("caller_a", "caller_b", "compute"):
+            module.function(name).noinline = True
+        insert_pseudo_probes(module)
+        verify_module(module)
+        return module
+
+    def test_contexts_separate_callers(self):
+        module = self._two_callers()
+        binary, meta, data, _res = _profile_setup(module, [200], period=7)
+        profile, _inf = generate_context_profile(binary, data, meta)
+        compute_contexts = [c for c in profile.contexts_of("compute")
+                            if len(c) > 1]
+        callers = {c[-2][0] for c in compute_contexts}
+        assert {"caller_a", "caller_b"} <= callers
+        # The caller_a context must be much hotter (trip 30 vs 2).
+        total_a = sum(profile.contexts[c].total for c in compute_contexts
+                      if c[-2][0] == "caller_a")
+        total_b = sum(profile.contexts[c].total for c in compute_contexts
+                      if c[-2][0] == "caller_b")
+        assert total_a > 3 * total_b
+
+    def test_flatten_equals_probe_profile_totals(self):
+        module = self._two_callers()
+        binary, meta, data, _res = _profile_setup(module, [200], period=7)
+        ctx_profile, _ = generate_context_profile(binary, data, meta)
+        flat = generate_probe_profile(binary, data, meta)
+        flattened = ctx_profile.flatten()
+        for name in ("compute", "caller_a", "caller_b"):
+            assert flattened.get(name).total == flat.get(name).total
+
+
+class TestUnwinder:
+    def test_linear_sample_keeps_stack_context(self, call_module):
+        binary = link(call_module)
+        pmu = make_pmu(PMUConfig(period=1))
+        execute(binary, [3], pmu=pmu)
+        unwinder = Unwinder(binary)
+        results = [unwinder.unwind(s) for s in pmu.data.samples]
+        assert any(r.ranges for r in results)
+        # Every emitted range stays within one function.
+        for r in results:
+            for rng in r.ranges:
+                assert (binary.function_at(rng.begin)
+                        == binary.function_at(rng.end))
+
+    def test_broken_stack_tolerated(self, call_module):
+        binary = link(call_module)
+        pmu = make_pmu(PMUConfig(period=1))
+        execute(binary, [3], pmu=pmu)
+        sample = pmu.data.samples[-1]
+        # Corrupt the stack: context must degrade, not crash.
+        from repro.hw import PerfSample
+        bad = PerfSample(sample.lbr, (sample.ip, 0xdeadbeef), sample.ip)
+        result = Unwinder(binary).unwind(bad)
+        assert result.broken
+
+
+class TestFrameInference:
+    def test_tail_graph_built_from_samples(self):
+        mb = ModuleBuilder("m")
+        f = mb.function("target", ["%v"])
+        f.block("entry").add("%r", "%v", 1).ret("%r")
+        f = mb.function("wrapper", ["%v"])
+        f.block("entry").call("%r", "target", ["%v"]).ret("%r")
+        f = mb.function("main", ["%n"])
+        f.block("entry").mov("%i", 0).mov("%s", 0).br("loop")
+        f.block("loop").cmp("slt", "%c", "%i", "%n").condbr("%c", "body", "out")
+        (f.block("body").call("%r", "wrapper", ["%i"])
+            .add("%s", "%s", "%r").add("%i", "%i", 1).br("loop"))
+        f.block("out").ret("%s")
+        module = mb.build()
+        module.function("wrapper").noinline = True
+        binary = link(module)
+        pmu = make_pmu(PMUConfig(period=3))
+        execute(binary, [300], pmu=pmu)
+        graph = TailCallGraph.from_samples(binary, pmu.data.samples)
+        assert graph.edges.get("wrapper", {}).get("target") is not None
+        inferrer = FrameInferrer(graph)
+        path = inferrer.infer("wrapper", "target")
+        assert path is not None and path[0][0] == "wrapper"
+
+    def test_ambiguous_path_fails(self):
+        graph = TailCallGraph()
+        graph.add_edge("w", "a", 100)
+        graph.add_edge("w", "b", 104)
+        graph.add_edge("a", "t", 200)
+        graph.add_edge("b", "t", 300)
+        inferrer = FrameInferrer(graph)
+        assert inferrer.infer("w", "t") is None
+        assert inferrer.attempted == 1 and inferrer.recovered == 0
+
+    def test_unique_path_recovered(self):
+        graph = TailCallGraph()
+        graph.add_edge("w", "a", 100)
+        graph.add_edge("a", "t", 200)
+        inferrer = FrameInferrer(graph)
+        assert inferrer.infer("w", "t") == [("w", 100), ("a", 200)]
+        assert inferrer.recovered == 1

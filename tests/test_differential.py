@@ -1,0 +1,93 @@
+"""Randomized differential testing: the strongest correctness net.
+
+For a spread of generated programs, every build configuration — any probe /
+counter insertion, the full optimization pipeline with or without (even
+deliberately wrong) profiles, lowering, linking — must compute exactly the
+same result as the reference IR interpreter on the original module.
+"""
+
+import random
+
+import pytest
+
+from repro.codegen import LowerConfig, link
+from repro.hw import execute
+from repro.ir import IRInterpreter, verify_module
+from repro.opt import OptConfig, optimize_module
+from repro.probes import insert_pseudo_probes, instrument_module
+from repro.profile.summary import ProfileSummary
+from repro.workloads import WorkloadSpec, build_workload
+
+SEEDS = [0, 1, 2, 3, 4, 5]
+ARGS = [120]
+
+
+def _reference(module):
+    return IRInterpreter(module.clone(), max_steps=20_000_000).run(ARGS)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestDifferential:
+    def test_optimized_probe_build_matches(self, seed):
+        module = build_workload(WorkloadSpec("d", seed=seed, requests=60))
+        expected = _reference(module).return_value
+        clone = module.clone()
+        insert_pseudo_probes(clone)
+        optimize_module(clone, OptConfig(), profile_annotated=False)
+        verify_module(clone)
+        assert execute(link(clone), ARGS).return_value == expected
+
+    def test_optimized_instrumented_build_matches(self, seed):
+        module = build_workload(WorkloadSpec("d", seed=seed, requests=60))
+        expected = _reference(module).return_value
+        clone = module.clone()
+        instrument_module(clone)
+        optimize_module(clone, OptConfig(), profile_annotated=False)
+        verify_module(clone)
+        assert execute(link(clone), ARGS).return_value == expected
+
+    def test_random_profile_annotation_is_semantically_safe(self, seed):
+        """Even a *garbage* profile must never change program behaviour —
+        only performance.  (Profile-guided transforms must be sound under
+        arbitrary counts.)"""
+        module = build_workload(WorkloadSpec("d", seed=seed, requests=60))
+        expected = _reference(module).return_value
+        clone = module.clone()
+        insert_pseudo_probes(clone)
+        rng = random.Random(seed)
+        for fn in clone.functions.values():
+            for block in fn.blocks:
+                block.count = float(rng.randint(0, 10_000))
+            fn.entry_count = fn.entry.count
+        clone.profile_summary = ProfileSummary.from_module(clone)
+        optimize_module(clone, OptConfig(), profile_annotated=True)
+        verify_module(clone)
+        assert execute(link(clone), ARGS).return_value == expected
+
+    def test_constprop_pipeline_matches(self, seed):
+        module = build_workload(WorkloadSpec("d", seed=seed, requests=60))
+        expected = _reference(module).return_value
+        clone = module.clone()
+        insert_pseudo_probes(clone)
+        optimize_module(clone, OptConfig(enable_constprop=True),
+                        profile_annotated=False)
+        verify_module(clone)
+        assert execute(link(clone), ARGS).return_value == expected
+
+    def test_no_tce_lowering_matches(self, seed):
+        module = build_workload(WorkloadSpec("d", seed=seed, requests=60))
+        expected = _reference(module).return_value
+        clone = module.clone()
+        optimize_module(clone, OptConfig(), profile_annotated=False)
+        binary = link(clone, config=LowerConfig(enable_tce=False))
+        assert execute(binary, ARGS).return_value == expected
+
+    def test_tiny_register_file_matches(self, seed):
+        """Aggressive spilling (4 registers) must not change semantics."""
+        module = build_workload(WorkloadSpec("d", seed=seed, requests=60))
+        expected = _reference(module).return_value
+        clone = module.clone()
+        optimize_module(clone, OptConfig(), profile_annotated=False)
+        binary = link(clone, config=LowerConfig(num_phys_regs=4))
+        result = execute(binary, ARGS)
+        assert result.return_value == expected

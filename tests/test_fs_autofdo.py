@@ -1,0 +1,111 @@
+"""FS-AutoFDO: discriminator assignment and the two-stage annotation."""
+
+import pytest
+
+from repro import PGODriverConfig, PGOVariant, run_pgo
+from repro.annotate.matcher import fold_discriminators
+from repro.hw import PMUConfig
+from repro.ir import ModuleBuilder, verify_module
+from repro.opt import OptConfig, unroll_function
+from repro.opt.fs_discriminators import assign_fs_discriminators
+from repro.profile import FunctionSamples
+from repro.profile.summary import ProfileSummary
+from repro.workloads import WorkloadSpec, build_workload
+from tests.conftest import run_ir
+
+
+def _unrolled_module():
+    mb = ModuleBuilder("m")
+    f = mb.function("main", ["%n"])
+    f.block("entry").mov("%i", 0).mov("%sum", 0).br("dw")
+    (f.block("dw").add("%sum", "%sum", "%i").add("%i", "%i", 1)
+        .cmp("slt", "%c", "%i", "%n").condbr("%c", "dw", "out"))
+    f.block("out").ret("%sum")
+    module = mb.build()
+    fn = module.function("main")
+    fn.entry.count = 1.0
+    fn.block("dw").count = 1000.0
+    unroll_function(fn, OptConfig(unroll_factor=4),
+                    ProfileSummary(10.0, 0.0, 1e6, 4))
+    return module
+
+
+class TestDiscriminatorAssignment:
+    def test_duplicated_lines_get_distinct_discs(self):
+        module = _unrolled_module()
+        assigned = assign_fs_discriminators(module)
+        assert assigned > 0
+        fn = module.function("main")
+        # The four copies of the loop body line carry four discriminators.
+        discs = {i.dloc.discriminator for b in fn.blocks for i in b.instrs
+                 if i.dloc is not None and i.dloc.line == 4}
+        assert len(discs) == 4
+
+    def test_unique_lines_keep_disc_zero(self):
+        module = _unrolled_module()
+        assign_fs_discriminators(module)
+        fn = module.function("main")
+        ret_instr = fn.block("out").instrs[-1]
+        assert ret_instr.dloc.discriminator == 0
+
+    def test_assignment_deterministic(self):
+        a = _unrolled_module()
+        b = _unrolled_module()
+        assign_fs_discriminators(a)
+        assign_fs_discriminators(b)
+        locs_a = [repr(i.dloc) for blk in a.function("main").blocks
+                  for i in blk.instrs]
+        locs_b = [repr(i.dloc) for blk in b.function("main").blocks
+                  for i in blk.instrs]
+        assert locs_a == locs_b
+
+    def test_semantics_untouched(self):
+        module = _unrolled_module()
+        before = run_ir(module, [100]).return_value
+        assign_fs_discriminators(module)
+        verify_module(module)
+        assert run_ir(module, [100]).return_value == before
+
+
+class TestFoldDiscriminators:
+    def test_fold_takes_max(self):
+        samples = FunctionSamples("f")
+        samples.body = {(4, 1): 250.0, (4, 2): 240.0, (4, 3): 260.0,
+                        (7, 0): 10.0}
+        samples.finalize()
+        folded = fold_discriminators(samples)
+        assert folded.body == {(4, 0): 260.0, (7, 0): 10.0}
+
+    def test_fold_merges_calls(self):
+        samples = FunctionSamples("f")
+        samples.add_call((5, 1), "g", 30.0)
+        samples.add_call((5, 2), "g", 20.0)
+        folded = fold_discriminators(samples)
+        assert folded.calls == {(5, 0): {"g": 50.0}}
+
+
+class TestEndToEnd:
+    def test_fs_variant_full_cycle(self):
+        module = build_workload(WorkloadSpec("fs", seed=3, n_leaf=4,
+                                             n_dispatch=2, n_mid=3,
+                                             n_wrapper=1, n_workers=2,
+                                             n_services=2, requests=60))
+        expected = run_ir(module, [60]).return_value
+        config = PGODriverConfig(pmu=PMUConfig(period=31))
+        result = run_pgo(module, PGOVariant.FS_AUTOFDO, [60], [60], config)
+        assert result.eval.cycles > 0
+        from repro.hw import execute
+        assert execute(result.final.binary, [60]).return_value == expected
+
+    def test_fs_profile_contains_discriminators(self):
+        module = build_workload(WorkloadSpec("fs", seed=3, n_leaf=4,
+                                             n_dispatch=2, n_mid=3,
+                                             n_wrapper=1, n_workers=2,
+                                             n_services=2, requests=60))
+        config = PGODriverConfig(pmu=PMUConfig(period=31),
+                                 profile_iterations=2)
+        result = run_pgo(module, PGOVariant.FS_AUTOFDO, [60], [60], config)
+        keys = {key for samples in result.profile.functions.values()
+                for key in samples.body}
+        assert any(disc > 0 for _line, disc in keys), \
+            "iteration-2 FS profile must carry discriminators"

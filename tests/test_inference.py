@@ -1,0 +1,68 @@
+"""Profile inference: flow consistency, unknown filling, noise smoothing."""
+
+import pytest
+
+from repro.inference import infer_function_counts, infer_module_counts
+from tests.conftest import build_diamond_module, build_loop_module
+
+
+class TestFlowConsistency:
+    def test_exact_counts_preserved(self):
+        module = build_loop_module()
+        fn = module.function("main")
+        for label, count in [("entry", 10.0), ("loop", 510.0),
+                             ("body", 500.0), ("exit", 10.0)]:
+            fn.block(label).count = count
+        infer_function_counts(fn, head_count=10.0)
+        assert fn.block("loop").count == pytest.approx(510.0, rel=0.05)
+        assert fn.block("body").count == pytest.approx(500.0, rel=0.05)
+
+    def test_unknown_blocks_filled(self):
+        module = build_loop_module()
+        fn = module.function("main")
+        fn.block("entry").count = 10.0
+        fn.block("loop").count = 510.0
+        fn.block("body").count = None   # unknown (e.g. dangling probe)
+        fn.block("exit").count = None
+        infer_function_counts(fn, head_count=10.0)
+        assert fn.block("body").count == pytest.approx(500.0, rel=0.1)
+        assert fn.block("exit").count == pytest.approx(10.0, rel=0.2)
+
+    def test_diamond_flow_balances(self):
+        module = build_diamond_module()
+        fn = module.function("main")
+        fn.block("entry").count = 100.0
+        fn.block("then").count = 80.0
+        fn.block("else").count = 30.0   # inconsistent: 80 + 30 != 100
+        fn.block("join").count = 100.0
+        infer_function_counts(fn, head_count=100.0)
+        total_sides = fn.block("then").count + fn.block("else").count
+        assert total_sides == pytest.approx(fn.block("entry").count, rel=0.05)
+
+    def test_counts_never_negative(self):
+        module = build_diamond_module()
+        fn = module.function("main")
+        fn.block("entry").count = 10.0
+        fn.block("then").count = 50.0  # wildly inconsistent
+        fn.block("else").count = 0.0
+        fn.block("join").count = 5.0
+        infer_function_counts(fn, head_count=10.0)
+        assert all(b.count >= 0.0 for b in fn.blocks)
+
+    def test_function_without_observations_untouched(self):
+        module = build_loop_module()
+        fn = module.function("main")
+        assert not infer_function_counts(fn)
+        assert all(b.count is None for b in fn.blocks)
+
+    def test_module_level_runs_annotated_only(self, call_module):
+        call_module.function("main").entry.count = 5.0
+        ran = infer_module_counts(call_module, {"main": 5.0})
+        assert ran == 1
+
+    def test_entry_count_set(self):
+        module = build_loop_module()
+        fn = module.function("main")
+        fn.block("loop").count = 100.0
+        infer_function_counts(fn, head_count=7.0)
+        assert fn.entry_count == 7.0

@@ -1,0 +1,40 @@
+"""CFG checksum: invariant to line drift, sensitive to CFG changes."""
+
+from repro.annotate import apply_cfg_drift, apply_comment_drift
+from repro.ir import cfg_checksum
+from tests.conftest import build_diamond_module, build_loop_module
+
+
+class TestChecksumInvariance:
+    def test_stable_across_recomputation(self, loop_module):
+        fn = loop_module.function("main")
+        assert cfg_checksum(fn) == cfg_checksum(fn)
+
+    def test_comment_drift_preserves_checksum(self):
+        module = build_loop_module()
+        before = cfg_checksum(module.function("main"))
+        apply_comment_drift(module, "main", at_line=2, shift=3)
+        assert cfg_checksum(module.function("main")) == before
+
+    def test_clone_preserves_checksum(self, diamond_module):
+        fn = diamond_module.function("main")
+        assert cfg_checksum(fn.clone()) == cfg_checksum(fn)
+
+
+class TestChecksumSensitivity:
+    def test_cfg_drift_changes_checksum(self):
+        module = build_loop_module()
+        before = cfg_checksum(module.function("main"))
+        apply_cfg_drift(module, "main")
+        assert cfg_checksum(module.function("main")) != before
+
+    def test_different_shapes_differ(self):
+        loop = build_loop_module().function("main")
+        diamond = build_diamond_module().function("main")
+        assert cfg_checksum(loop) != cfg_checksum(diamond)
+
+    def test_call_target_rename_changes_checksum(self, call_module):
+        fn = call_module.function("main")
+        before = cfg_checksum(fn)
+        fn.block("entry").instrs[0].callee = "other"
+        assert cfg_checksum(fn) != before

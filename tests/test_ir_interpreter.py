@@ -1,0 +1,120 @@
+"""Unit tests for the reference IR interpreter."""
+
+import pytest
+
+from repro.ir import (ExecutionLimitExceeded, IRInterpreter, ModuleBuilder,
+                      verify_module)
+from repro.ir.semantics import eval_binop, eval_cmp, to_i64, wrap_index
+from tests.conftest import run_ir
+
+
+class TestSemanticsHelpers:
+    def test_wraparound_addition(self):
+        assert eval_binop("add", 2**63 - 1, 1) == -(2**63)
+
+    def test_division_truncates_toward_zero(self):
+        assert eval_binop("sdiv", -7, 2) == -3
+        assert eval_binop("sdiv", 7, -2) == -3
+
+    def test_division_by_zero_is_zero(self):
+        assert eval_binop("sdiv", 5, 0) == 0
+        assert eval_binop("srem", 5, 0) == 0
+
+    def test_rem_sign_matches_dividend(self):
+        assert eval_binop("srem", -7, 3) == -1
+        assert eval_binop("srem", 7, -3) == 1
+
+    def test_shift_amount_mod_64(self):
+        assert eval_binop("shl", 1, 64) == 1
+        assert eval_binop("shl", 1, 65) == 2
+
+    def test_compare_results_are_bits(self):
+        assert eval_cmp("slt", -1, 0) == 1
+        assert eval_cmp("sge", -1, 0) == 0
+
+    def test_wrap_index(self):
+        assert wrap_index(10, 8) == 2
+        assert wrap_index(-1, 8) == 7
+        assert wrap_index(5, 0) == 0
+
+    def test_to_i64_round_trip(self):
+        assert to_i64(-5) == -5
+        assert to_i64(2**64 + 3) == 3
+
+
+class TestExecution:
+    def test_loop_sum(self, loop_module):
+        assert run_ir(loop_module, [10]).return_value == 45
+
+    def test_zero_trip_loop(self, loop_module):
+        assert run_ir(loop_module, [0]).return_value == 0
+
+    def test_diamond_both_sides(self, diamond_module):
+        assert run_ir(diamond_module, [2]).return_value == 6
+        assert run_ir(diamond_module, [7]).return_value == 107
+
+    def test_call_and_return(self, call_module):
+        assert run_ir(call_module, [5]).return_value == 5 * 2 + 1 + 10
+
+    def test_missing_args_default_to_zero(self, call_module):
+        assert run_ir(call_module, []).return_value == 11
+
+    def test_block_counts_exact(self, loop_module):
+        result = run_ir(loop_module, [10])
+        counts = result.block_counts
+        assert counts[("main", "entry")] == 1
+        assert counts[("main", "loop")] == 11
+        assert counts[("main", "body")] == 10
+        assert counts[("main", "exit")] == 1
+
+    def test_edge_counts_exact(self, loop_module):
+        result = run_ir(loop_module, [10])
+        assert result.edge_counts[("main", "loop", "body")] == 10
+        assert result.edge_counts[("main", "loop", "exit")] == 1
+
+    def test_call_counts(self, call_module):
+        result = run_ir(call_module, [1])
+        assert result.call_counts[("main", "entry", "helper")] == 1
+
+    def test_step_limit_enforced(self):
+        mb = ModuleBuilder("inf")
+        f = mb.function("main", [])
+        f.block("entry").br("entry")
+        module = mb.build()
+        with pytest.raises(ExecutionLimitExceeded):
+            IRInterpreter(module, max_steps=100).run([])
+
+    def test_call_depth_limit(self):
+        mb = ModuleBuilder("rec")
+        f = mb.function("main", ["%n"])
+        f.block("entry").call("%r", "main", ["%n"]).ret("%r")
+        module = mb.build()
+        with pytest.raises(ExecutionLimitExceeded):
+            IRInterpreter(module, max_call_depth=10).run([1])
+
+    def test_memory_local_vs_global(self):
+        mb = ModuleBuilder("mem")
+        mb.global_array("@g", 4)
+        f = mb.function("touch", [])
+        f.local_array("buf", 4)
+        f.block("entry").store("buf", 0, 42).load("%v", "buf", 0) \
+            .store("@g", 0, "%v").ret("%v")
+        f = mb.function("main", [])
+        f.block("entry").call("%a", "touch", []).load("%g", "@g", 0) \
+            .add("%r", "%a", "%g").ret("%r")
+        module = mb.build()
+        verify_module(module)
+        assert run_ir(module, []).return_value == 84
+
+    def test_locals_are_fresh_per_frame(self):
+        mb = ModuleBuilder("frames")
+        f = mb.function("reader", [])
+        f.local_array("buf", 2)
+        f.block("entry").load("%v", "buf", 0).ret("%v")
+        f = mb.function("writer", [])
+        f.local_array("buf", 2)
+        f.block("entry").store("buf", 0, 99).call("%r", "reader", []).ret("%r")
+        f = mb.function("main", [])
+        f.block("entry").call("%r", "writer", []).ret("%r")
+        module = mb.build()
+        assert run_ir(module, []).return_value == 0

@@ -1,0 +1,116 @@
+"""Unit tests for blocks, functions, modules, builder, verifier, printer."""
+
+import pytest
+
+from repro.ir import (BasicBlock, Br, Function, Module, ModuleBuilder, Ret,
+                      VerificationError, function_guid, print_function,
+                      print_module, verify_function, verify_module)
+from tests.conftest import build_call_module, build_diamond_module
+
+
+class TestFunctionStructure:
+    def test_entry_is_first_block(self, loop_module):
+        assert loop_module.function("main").entry.label == "entry"
+
+    def test_successors(self, loop_module):
+        fn = loop_module.function("main")
+        assert fn.block("loop").successors() == ["body", "exit"]
+        assert fn.block("body").successors() == ["loop"]
+        assert fn.block("exit").successors() == []
+
+    def test_duplicate_block_label_rejected(self):
+        fn = Function("f")
+        fn.add_block(BasicBlock("a", [Ret(0)]))
+        with pytest.raises(ValueError):
+            fn.add_block(BasicBlock("a", [Ret(0)]))
+
+    def test_fresh_reg_avoids_existing(self, loop_module):
+        fn = loop_module.function("main")
+        fresh = fn.fresh_reg("i")
+        defined = {i.defined() for i in fn.instructions()}
+        assert fresh not in defined and fresh not in fn.params
+
+    def test_fresh_label_avoids_existing(self, loop_module):
+        fn = loop_module.function("main")
+        assert not fn.has_block(fn.fresh_label("loop"))
+
+    def test_clone_is_independent(self, loop_module):
+        clone = loop_module.clone()
+        clone.function("main").block("body").instrs.pop(0)
+        original = loop_module.function("main").block("body")
+        assert len(original.instrs) == 3
+
+    def test_guid_is_stable_and_distinct(self):
+        assert function_guid("foo") == function_guid("foo")
+        assert function_guid("foo") != function_guid("bar")
+
+    def test_callees(self):
+        module = build_call_module()
+        assert module.function("main").callees() == ["helper"]
+
+
+class TestVerifier:
+    def test_valid_module_passes(self, loop_module):
+        verify_module(loop_module)
+
+    def test_missing_terminator_caught(self):
+        fn = Function("f")
+        fn.add_block(BasicBlock("entry", []))
+        with pytest.raises(VerificationError):
+            verify_function(fn)
+
+    def test_dangling_branch_target_caught(self):
+        fn = Function("f")
+        fn.add_block(BasicBlock("entry", [Br("nowhere")]))
+        with pytest.raises(VerificationError):
+            verify_function(fn)
+
+    def test_unknown_callee_caught(self):
+        module = build_call_module()
+        main = module.function("main")
+        main.block("entry").instrs[0].callee = "ghost"
+        with pytest.raises(VerificationError):
+            verify_module(module)
+
+    def test_missing_entry_function_caught(self):
+        module = Module("m")
+        with pytest.raises(VerificationError):
+            verify_module(module)
+
+    def test_terminator_mid_block_caught(self):
+        fn = Function("f")
+        fn.add_block(BasicBlock("entry", [Ret(0), Ret(0)]))
+        with pytest.raises(VerificationError):
+            verify_function(fn)
+
+
+class TestPrinter:
+    def test_print_function_contains_blocks(self, loop_module):
+        text = print_function(loop_module.function("main"))
+        for label in ("entry", "loop", "body", "exit"):
+            assert f"{label}:" in text
+
+    def test_print_module_contains_all_functions(self):
+        module = build_call_module()
+        text = print_module(module)
+        assert "define main" in text and "define helper" in text
+
+
+class TestBuilder:
+    def test_lines_auto_increment(self):
+        module = build_diamond_module()
+        lines = [i.dloc.line for i in module.function("main").instructions()
+                 if i.dloc is not None]
+        assert lines == sorted(lines)
+        assert len(set(lines)) == len(lines)
+
+    def test_local_and_global_arrays(self):
+        mb = ModuleBuilder("m")
+        mb.global_array("@g", 8)
+        f = mb.function("main", ["%x"])
+        f.local_array("buf", 4)
+        f.block("entry").store("buf", 0, "%x").load("%y", "buf", 0) \
+            .store("@g", 1, "%y").ret("%y")
+        module = mb.build()
+        verify_module(module)
+        assert module.function("main").local_arrays == {"buf": 4}

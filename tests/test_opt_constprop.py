@@ -1,0 +1,111 @@
+"""Constant propagation and branch folding (the specialization cleanup)."""
+
+from repro.ir import Assign, Br, ModuleBuilder, verify_module
+from repro.opt import (OptConfig, constprop_function, inline_call,
+                       optimize_module)
+from tests.conftest import run_ir
+
+
+class TestLocalFolding:
+    def test_constant_chain_folds(self):
+        mb = ModuleBuilder("m")
+        f = mb.function("main", [])
+        (f.block("entry")
+            .mov("%a", 6)
+            .mul("%b", "%a", 7)
+            .add("%c", "%b", 0)
+            .ret("%c"))
+        module = mb.build()
+        rewrites = constprop_function(module.function("main"))
+        assert rewrites == 2
+        assert run_ir(module, []).return_value == 42
+
+    def test_constant_branch_folds_and_prunes(self):
+        mb = ModuleBuilder("m")
+        f = mb.function("main", ["%x"])
+        (f.block("entry")
+            .mov("%sel", 3)
+            .cmp("slt", "%c", "%sel", 50)
+            .condbr("%c", "taken", "dead"))
+        f.block("taken").add("%r", "%x", 1).ret("%r")
+        f.block("dead").add("%r", "%x", 1000).ret("%r")
+        module = mb.build()
+        before = run_ir(module, [5]).return_value
+        constprop_function(module.function("main"))
+        verify_module(module)
+        assert run_ir(module, [5]).return_value == before
+        assert not module.function("main").has_block("dead")
+
+    def test_select_on_constant_folds(self):
+        mb = ModuleBuilder("m")
+        f = mb.function("main", ["%x"])
+        (f.block("entry")
+            .mov("%c", 1)
+            .select("%r", "%c", "%x", 999)
+            .ret("%r"))
+        module = mb.build()
+        constprop_function(module.function("main"))
+        assert run_ir(module, [7]).return_value == 7
+
+    def test_unknown_values_not_folded(self):
+        mb = ModuleBuilder("m")
+        f = mb.function("main", ["%x"])
+        f.block("entry").add("%r", "%x", 1).ret("%r")
+        module = mb.build()
+        assert constprop_function(module.function("main")) == 0
+
+    def test_redefinition_invalidates_constant(self):
+        mb = ModuleBuilder("m")
+        f = mb.function("main", ["%x"])
+        (f.block("entry")
+            .mov("%a", 5)
+            .add("%a", "%a", "%x")   # %a no longer constant
+            .mul("%r", "%a", 2)
+            .ret("%r"))
+        module = mb.build()
+        constprop_function(module.function("main"))
+        assert run_ir(module, [10]).return_value == 30
+
+
+class TestDispatcherSpecialization:
+    def _dispatcher_module(self):
+        mb = ModuleBuilder("m")
+        f = mb.function("fast", ["%v"])
+        f.block("entry").add("%r", "%v", 1).ret("%r")
+        f = mb.function("slow", ["%v"])
+        f.block("entry").mul("%r", "%v", 1000).ret("%r")
+        f = mb.function("dispatch", ["%sel", "%v"])
+        f.block("entry").cmp("slt", "%c", "%sel", 50) \
+            .condbr("%c", "lo", "hi")
+        f.block("lo").call("%r", "fast", ["%v"]).br("out")
+        f.block("hi").call("%r", "slow", ["%v"]).br("out")
+        f.block("out").ret("%r")
+        f = mb.function("main", ["%v"])
+        f.block("entry").call("%r", "dispatch", [3, "%v"]).ret("%r")
+        module = mb.build()
+        verify_module(module)
+        return module
+
+    def test_inline_then_constprop_deletes_untaken_side(self):
+        module = self._dispatcher_module()
+        expected = run_ir(module, [5]).return_value
+        main = module.function("main")
+        inline_call(module, main, "entry", 0)
+        rewrites = constprop_function(main)
+        assert rewrites >= 2  # cmp fold + branch fold
+        verify_module(module)
+        assert run_ir(module, [5]).return_value == expected
+        # The slow path must be gone from main entirely.
+        assert "slow" not in main.callees()
+
+    def test_pipeline_flag_off_by_default(self):
+        config = OptConfig()
+        assert not config.enable_constprop
+
+    def test_full_pipeline_with_constprop(self):
+        module = self._dispatcher_module()
+        expected = run_ir(module, [5]).return_value
+        optimize_module(module, OptConfig(enable_constprop=True),
+                        profile_annotated=False)
+        verify_module(module)
+        assert run_ir(module, [5]).return_value == expected

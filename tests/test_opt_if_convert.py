@@ -1,0 +1,102 @@
+"""If-conversion: shapes, probe tuning (dangling), counter blocking, bias."""
+
+from repro.ir import ModuleBuilder, PseudoProbe, Select, verify_module
+from repro.opt import OptConfig, if_convert_function
+from repro.probes import insert_pseudo_probes, instrument_module
+from tests.conftest import build_diamond_module, run_ir
+
+
+def _triangle_module():
+    mb = ModuleBuilder("m")
+    f = mb.function("main", ["%x"])
+    f.block("entry").mov("%r", 0).cmp("slt", "%c", "%x", 5) \
+        .condbr("%c", "then", "join")
+    f.block("then").add("%r", "%x", 50).br("join")
+    f.block("join").ret("%r")
+    module = mb.build()
+    verify_module(module)
+    return module
+
+
+class TestShapes:
+    def test_diamond_converted(self, diamond_module):
+        fn = diamond_module.function("main")
+        converted = if_convert_function(fn, OptConfig())
+        assert converted == 1
+        assert len(fn.blocks) == 2  # entry + join
+        selects = [i for i in fn.instructions() if isinstance(i, Select)]
+        assert selects
+        verify_module(diamond_module)
+        assert run_ir(diamond_module, [2]).return_value == 6
+        assert run_ir(diamond_module, [9]).return_value == 109
+
+    def test_triangle_converted(self):
+        module = _triangle_module()
+        fn = module.function("main")
+        assert if_convert_function(fn, OptConfig()) == 1
+        verify_module(module)
+        assert run_ir(module, [1]).return_value == 51
+        assert run_ir(module, [9]).return_value == 0
+
+    def test_sides_with_calls_not_converted(self, call_module):
+        mb = ModuleBuilder("m")
+        f = mb.function("callee", ["%v"])
+        f.block("entry").ret("%v")
+        f = mb.function("main", ["%x"])
+        f.block("entry").cmp("slt", "%c", "%x", 5).condbr("%c", "then", "else")
+        f.block("then").call("%r", "callee", ["%x"]).br("join")
+        f.block("else").mov("%r", 0).br("join")
+        f.block("join").ret("%r")
+        module = mb.build()
+        assert if_convert_function(module.function("main"), OptConfig()) == 0
+
+    def test_size_limit_respected(self, diamond_module):
+        config = OptConfig(if_convert_max_instrs=0)
+        assert if_convert_function(diamond_module.function("main"), config) == 0
+
+
+class TestAnchors:
+    def test_probes_survive_as_dangling(self, diamond_module):
+        insert_pseudo_probes(diamond_module)
+        fn = diamond_module.function("main")
+        assert if_convert_function(fn, OptConfig()) == 1
+        dangling = [i for i in fn.instructions()
+                    if isinstance(i, PseudoProbe) and i.dangling]
+        assert len(dangling) == 2  # both side-block probes
+        verify_module(diamond_module)
+        assert run_ir(diamond_module, [2]).return_value == 6
+
+    def test_probes_can_be_configured_to_block(self, diamond_module):
+        insert_pseudo_probes(diamond_module)
+        config = OptConfig(probes_block_if_convert=True)
+        assert if_convert_function(diamond_module.function("main"), config) == 0
+
+    def test_counters_block(self, diamond_module):
+        instrument_module(diamond_module)
+        assert if_convert_function(diamond_module.function("main"),
+                                   OptConfig()) == 0
+
+
+class TestBias:
+    def test_biased_branch_kept(self, diamond_module):
+        fn = diamond_module.function("main")
+        fn.block("entry").count = 1000.0
+        fn.block("then").count = 990.0
+        fn.block("else").count = 10.0
+        fn.block("join").count = 1000.0
+        assert if_convert_function(fn, OptConfig()) == 0
+
+    def test_unbiased_branch_converted(self, diamond_module):
+        fn = diamond_module.function("main")
+        fn.block("entry").count = 1000.0
+        fn.block("then").count = 520.0
+        fn.block("else").count = 480.0
+        fn.block("join").count = 1000.0
+        assert if_convert_function(fn, OptConfig()) == 1
+
+    def test_register_defined_on_one_side_only(self):
+        """The not-defining side must keep the pre-branch value."""
+        module = _triangle_module()
+        if_convert_function(module.function("main"), OptConfig())
+        # %r initialized to 0; then-side sets x+50.
+        assert run_ir(module, [100]).return_value == 0

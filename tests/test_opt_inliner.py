@@ -1,0 +1,157 @@
+"""Inliner: mechanics (register/label/inline-stack bookkeeping), heuristics."""
+
+import pytest
+
+from repro.ir import Call, DebugLoc, ModuleBuilder, PseudoProbe, verify_module
+from repro.opt import (OptConfig, bottom_up_order, function_size, inline_call,
+                       run_bottom_up_inliner)
+from repro.probes import insert_pseudo_probes
+from repro.profile.summary import ProfileSummary
+from tests.conftest import build_call_module, run_ir
+
+
+class TestInlineMechanics:
+    def test_result_value_preserved(self, call_module):
+        expected = run_ir(call_module, [5]).return_value
+        inline_call(call_module, call_module.function("main"), "entry", 0)
+        verify_module(call_module)
+        assert run_ir(call_module, [5]).return_value == expected
+        assert not call_module.function("main").callees()
+
+    def test_registers_renamed(self, call_module):
+        main = call_module.function("main")
+        inline_call(call_module, main, "entry", 0)
+        defined = {i.defined() for i in main.instructions() if i.defined()}
+        # The callee's %d must have been renamed, not collide.
+        assert any(reg.startswith("%inl0.") for reg in defined)
+
+    def test_dwarf_inline_stack_pushed(self, call_module):
+        main = call_module.function("main")
+        call_line = main.block("entry").instrs[0].dloc.line
+        inline_call(call_module, main, "entry", 0)
+        cloned = [i for i in main.instructions() if i.dloc is not None
+                  and i.dloc.inline_stack]
+        assert cloned
+        for instr in cloned:
+            site = instr.dloc.inline_stack[0]
+            assert site.callee == "helper"
+            assert site.callsite_line == call_line
+
+    def test_probe_inline_stack_pushed(self):
+        module = build_call_module()
+        insert_pseudo_probes(module)
+        main = module.function("main")
+        call = main.block("entry").calls()[0]
+        expected_ctx = call.probe_context()
+        call_idx = main.block("entry").instrs.index(call)
+        inline_call(module, main, "entry", call_idx)
+        inlined_probes = [i for i in main.instructions()
+                          if isinstance(i, PseudoProbe) and i.inline_stack]
+        assert inlined_probes
+        for probe in inlined_probes:
+            assert probe.inline_stack == expected_ctx
+            assert probe.guid == module.function("helper").guid
+
+    def test_nested_inline_stacks_compose(self):
+        mb = ModuleBuilder("m")
+        f = mb.function("inner", ["%v"])
+        f.block("entry").add("%r", "%v", 1).ret("%r")
+        f = mb.function("middle", ["%v"])
+        f.block("entry").call("%r", "inner", ["%v"]).ret("%r")
+        f = mb.function("main", ["%v"])
+        f.block("entry").call("%r", "middle", ["%v"]).add("%r", "%r", 1).ret("%r")
+        module = mb.build()
+        insert_pseudo_probes(module)
+        expected = run_ir(module, [5]).return_value
+        main = module.function("main")
+        call = main.block("entry").calls()[0]
+        inline_call(module, main, "entry",
+                    main.block("entry").instrs.index(call))
+        # Now inline the cloned inner call.
+        cloned_call = next(i for b in main.blocks for i in b.instrs
+                           if isinstance(i, Call))
+        block = next(b for b in main.blocks if cloned_call in b.instrs)
+        inline_call(module, main, block.label,
+                    block.instrs.index(cloned_call))
+        verify_module(module)
+        assert run_ir(module, [5]).return_value == expected
+        deep = [i for i in main.instructions() if isinstance(i, PseudoProbe)
+                and len(i.inline_stack) == 2]
+        assert deep, "inner's probes must carry a two-deep inline chain"
+
+    def test_flat_count_scaling(self, call_module):
+        main = call_module.function("main")
+        helper = call_module.function("helper")
+        helper.entry.count = 100.0
+        main.block("entry").count = 25.0
+        inline_call(call_module, main, "entry", 0, count_scale=0.25)
+        cloned = next(b for b in main.blocks if b.label.startswith("inl0."))
+        assert cloned.count == 25.0
+
+    def test_recursion_rejected(self):
+        mb = ModuleBuilder("m")
+        f = mb.function("main", ["%n"])
+        f.block("entry").call("%r", "main", ["%n"]).ret("%r")
+        module = mb.build()
+        with pytest.raises(ValueError):
+            inline_call(module, module.function("main"), "entry", 0)
+
+    def test_local_arrays_cloned(self):
+        mb = ModuleBuilder("m")
+        f = mb.function("helper", ["%v"])
+        f.local_array("buf", 4)
+        f.block("entry").store("buf", 0, "%v").load("%r", "buf", 0).ret("%r")
+        f = mb.function("main", ["%n"])
+        f.block("entry").call("%r", "helper", ["%n"]).ret("%r")
+        module = mb.build()
+        expected = run_ir(module, [7]).return_value
+        inline_call(module, module.function("main"), "entry", 0)
+        verify_module(module)
+        assert run_ir(module, [7]).return_value == expected
+        assert "inl0.buf" in module.function("main").local_arrays
+
+
+class TestHeuristics:
+    def test_bottom_up_order_callees_first(self, small_workload):
+        order = bottom_up_order(small_workload)
+        assert order.index("leaf_0") < order.index("main")
+
+    def test_static_inliner_inlines_small(self, call_module):
+        count = run_bottom_up_inliner(call_module, OptConfig(),
+                                      use_profile=False)
+        assert count == 1
+        assert not call_module.function("main").callees()
+
+    def test_static_inliner_respects_threshold(self, call_module):
+        config = OptConfig(inline_size_threshold=1)
+        assert run_bottom_up_inliner(call_module, config,
+                                     use_profile=False) == 0
+
+    def test_noinline_respected(self, call_module):
+        call_module.function("helper").noinline = True
+        assert run_bottom_up_inliner(call_module, OptConfig(),
+                                     use_profile=False) == 0
+
+    def test_profiled_inliner_skips_cold_callsites(self, call_module):
+        main = call_module.function("main")
+        main.entry.count = 0.0
+        main.entry_count = 0.0
+        call_module.profile_summary = ProfileSummary(
+            hot_count=100.0, cold_count=5.0, total=1e5, num_counts=3)
+        assert run_bottom_up_inliner(call_module, OptConfig(),
+                                     use_profile=True) == 0
+
+    def test_profiled_inliner_inlines_hot_callsites(self, call_module):
+        main = call_module.function("main")
+        main.entry.count = 1000.0
+        main.entry_count = 1000.0
+        call_module.function("helper").entry.count = 1000.0
+        call_module.profile_summary = ProfileSummary(
+            hot_count=100.0, cold_count=5.0, total=1e5, num_counts=3)
+        assert run_bottom_up_inliner(call_module, OptConfig(),
+                                     use_profile=True) == 1
+
+    def test_function_size_excludes_probes(self, call_module):
+        before = function_size(call_module.function("main"))
+        insert_pseudo_probes(call_module)
+        assert function_size(call_module.function("main")) == before

@@ -1,0 +1,106 @@
+"""Ext-TSP layout and hot/cold splitting."""
+
+from repro.ir import ModuleBuilder, verify_module
+from repro.opt import (OptConfig, edge_weights, ext_tsp_layout_function,
+                       ext_tsp_score, split_hot_cold_function)
+from repro.profile.summary import ProfileSummary
+from tests.conftest import run_ir
+
+
+def _branchy_module():
+    """entry branches to hot (90%) or cold (10%); both rejoin."""
+    mb = ModuleBuilder("m")
+    f = mb.function("main", ["%x"])
+    f.block("entry").cmp("slt", "%c", "%x", 90).condbr("%c", "cold", "hot")
+    f.block("cold").add("%r", "%x", 1).br("join")
+    f.block("hot").add("%r", "%x", 2).br("join")
+    f.block("join").ret("%r")
+    module = mb.build()
+    fn = module.function("main")
+    fn.entry.count = 1000.0
+    fn.block("hot").count = 900.0
+    fn.block("cold").count = 100.0
+    fn.block("join").count = 1000.0
+    fn.entry_count = 1000.0
+    verify_module(module)
+    return module
+
+
+class TestEdgeWeights:
+    def test_split_proportional_to_successor_counts(self):
+        fn = _branchy_module().function("main")
+        weights = edge_weights(fn)
+        assert weights[("entry", "hot")] > weights[("entry", "cold")]
+        assert abs(weights[("entry", "hot")] - 900.0) < 1.0
+
+    def test_single_successor_carries_full_count(self):
+        fn = _branchy_module().function("main")
+        weights = edge_weights(fn)
+        assert weights[("hot", "join")] == 900.0
+
+
+class TestExtTsp:
+    def test_layout_improves_score(self):
+        fn = _branchy_module().function("main")
+        weights = edge_weights(fn)
+        before = ext_tsp_score([b.label for b in fn.blocks], fn, weights)
+        ext_tsp_layout_function(fn)
+        after = ext_tsp_score([b.label for b in fn.blocks], fn, weights)
+        assert after >= before
+
+    def test_hot_successor_becomes_fallthrough(self):
+        fn = _branchy_module().function("main")
+        ext_tsp_layout_function(fn)
+        order = [b.label for b in fn.blocks]
+        assert order.index("hot") == order.index("entry") + 1
+
+    def test_entry_stays_first(self):
+        fn = _branchy_module().function("main")
+        ext_tsp_layout_function(fn)
+        assert fn.blocks[0].label == "entry"
+
+    def test_no_profile_keeps_order(self):
+        mb = ModuleBuilder("m")
+        f = mb.function("main", ["%x"])
+        f.block("entry").br("b")
+        f.block("b").ret("%x")
+        fn = mb.build().function("main")
+        before = [b.label for b in fn.blocks]
+        ext_tsp_layout_function(fn)
+        assert [b.label for b in fn.blocks] == before
+
+    def test_score_prefers_fallthrough_over_far_jump(self):
+        fn = _branchy_module().function("main")
+        weights = edge_weights(fn)
+        good = ext_tsp_score(["entry", "hot", "join", "cold"], fn, weights)
+        bad = ext_tsp_score(["entry", "cold", "join", "hot"], fn, weights)
+        assert good > bad
+
+
+class TestHotColdSplit:
+    def test_cold_blocks_marked_and_sunk(self):
+        module = _branchy_module()
+        fn = module.function("main")
+        summary = ProfileSummary(hot_count=500.0, cold_count=150.0,
+                                 total=2000.0, num_counts=4)
+        cold = split_hot_cold_function(fn, OptConfig(), summary)
+        assert cold == 1
+        assert fn.blocks[-1].label == "cold"
+        assert fn.blocks[-1].is_cold
+        verify_module(module)
+        assert run_ir(module, [5]).return_value == 6
+
+    def test_entry_never_cold(self):
+        fn = _branchy_module().function("main")
+        fn.entry.count = 0.0
+        summary = ProfileSummary(hot_count=500.0, cold_count=150.0,
+                                 total=2000.0, num_counts=4)
+        split_hot_cold_function(fn, OptConfig(), summary)
+        assert not fn.entry.is_cold
+
+    def test_unprofiled_function_untouched(self):
+        mb = ModuleBuilder("m")
+        f = mb.function("main", ["%x"])
+        f.block("entry").ret("%x")
+        fn = mb.build().function("main")
+        assert split_hot_cold_function(fn, OptConfig(), None) == 0

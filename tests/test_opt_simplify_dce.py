@@ -1,0 +1,126 @@
+"""Unit tests for CFG simplification, DCE, and dead function elimination."""
+
+from repro.ir import (BasicBlock, Br, ModuleBuilder, Ret, verify_module)
+from repro.opt import (dce_function, dead_function_elimination,
+                       fold_forwarding_blocks, merge_straightline_blocks,
+                       reachable_functions, remove_unreachable_blocks,
+                       simplify_cfg_function)
+from repro.probes import insert_pseudo_probes
+from tests.conftest import build_call_module, run_ir
+
+
+def _straightline_pair():
+    mb = ModuleBuilder("m")
+    f = mb.function("main", ["%x"])
+    f.block("a").add("%y", "%x", 1).br("b")
+    f.block("b").mul("%y", "%y", 2).ret("%y")
+    return mb.build()
+
+
+class TestSimplify:
+    def test_merge_straightline(self):
+        module = _straightline_pair()
+        before = run_ir(module, [3]).return_value
+        merged = merge_straightline_blocks(module.function("main"))
+        assert merged == 1
+        assert len(module.function("main").blocks) == 1
+        verify_module(module)
+        assert run_ir(module, [3]).return_value == before
+
+    def test_forwarding_block_folded(self):
+        mb = ModuleBuilder("m")
+        f = mb.function("main", ["%x"])
+        f.block("entry").cmp("slt", "%c", "%x", 5).condbr("%c", "fwd", "other")
+        f.block("fwd").br("target")
+        f.block("other").ret(1)
+        f.block("target").ret(2)
+        module = mb.build()
+        folded = fold_forwarding_blocks(module.function("main"))
+        assert folded == 1
+        assert not module.function("main").has_block("fwd")
+        verify_module(module)
+        assert run_ir(module, [1]).return_value == 2
+
+    def test_forwarding_block_with_probe_kept(self):
+        mb = ModuleBuilder("m")
+        f = mb.function("main", ["%x"])
+        f.block("entry").cmp("slt", "%c", "%x", 5).condbr("%c", "fwd", "other")
+        f.block("fwd").br("target")
+        f.block("other").ret(1)
+        f.block("target").ret(2)
+        module = mb.build()
+        insert_pseudo_probes(module)
+        fold_forwarding_blocks(module.function("main"))
+        # Probe frequency = edge frequency: the block must survive.
+        assert module.function("main").has_block("fwd")
+
+    def test_unreachable_removed(self):
+        mb = ModuleBuilder("m")
+        f = mb.function("main", [])
+        f.block("entry").ret(0)
+        f.block("island").ret(1)
+        module = mb.build()
+        assert remove_unreachable_blocks(module.function("main")) == 1
+
+    def test_condbr_same_targets_canonicalized(self):
+        mb = ModuleBuilder("m")
+        f = mb.function("main", ["%x"])
+        f.block("entry").cmp("slt", "%c", "%x", 1).condbr("%c", "out", "out")
+        f.block("out").ret("%x")
+        module = mb.build()
+        simplify_cfg_function(module.function("main"))
+        verify_module(module)
+        assert run_ir(module, [7]).return_value == 7
+
+    def test_entry_never_removed(self):
+        module = _straightline_pair()
+        simplify_cfg_function(module.function("main"))
+        assert module.function("main").entry.label == "a"
+
+
+class TestDCE:
+    def test_dead_chain_removed(self):
+        mb = ModuleBuilder("m")
+        f = mb.function("main", ["%x"])
+        (f.block("entry")
+            .add("%dead1", "%x", 1)
+            .mul("%dead2", "%dead1", 2)   # uses dead1: chain
+            .add("%live", "%x", 5)
+            .ret("%live"))
+        module = mb.build()
+        removed = dce_function(module.function("main"))
+        assert removed == 2
+        assert run_ir(module, [3]).return_value == 8
+
+    def test_stores_and_calls_kept(self):
+        module = build_call_module()
+        main = module.function("main")
+        # Make the call result dead; the call itself must survive.
+        main.block("entry").instrs[-1] = Ret(0)
+        dce_function(main)
+        assert main.block("entry").calls()
+
+    def test_redefined_but_used_kept(self):
+        mb = ModuleBuilder("m")
+        f = mb.function("main", ["%x"])
+        f.block("entry").add("%a", "%x", 1).add("%a", "%a", 2).ret("%a")
+        module = mb.build()
+        assert dce_function(module.function("main")) == 0
+
+
+class TestDFE:
+    def test_unreachable_function_removed(self):
+        module = build_call_module()
+        mb_extra = module  # add an orphan function manually
+        from repro.ir import Function
+        orphan = Function("orphan")
+        orphan.add_block(BasicBlock("entry", [Ret(0)]))
+        module.add_function(orphan)
+        removed = dead_function_elimination(module)
+        assert removed == 1
+        assert "orphan" not in module.functions
+
+    def test_transitive_callees_kept(self):
+        module = build_call_module()
+        assert reachable_functions(module) == {"main", "helper"}
+        assert dead_function_elimination(module) == 0

@@ -1,0 +1,75 @@
+"""Tail merge: the code-merge hazard and its probe/counter mitigation."""
+
+from repro.ir import DebugLoc, ModuleBuilder, verify_module
+from repro.opt import tail_merge_function
+from repro.probes import insert_pseudo_probes, instrument_module
+from tests.conftest import run_ir
+
+
+def _duplicated_blocks_module():
+    """Two identical computation blocks reached from a branch — different
+    source lines, identical code."""
+    mb = ModuleBuilder("m")
+    f = mb.function("main", ["%x"])
+    f.block("entry").cmp("slt", "%c", "%x", 5).condbr("%c", "left", "right")
+    # Same instructions, different (auto-assigned) source lines:
+    f.block("left").add("%r", "%x", 7).br("join")
+    f.block("right").add("%r", "%x", 7).br("join")
+    f.block("join").ret("%r")
+    module = mb.build()
+    verify_module(module)
+    return module
+
+
+class TestTailMerge:
+    def test_identical_blocks_merge(self):
+        module = _duplicated_blocks_module()
+        before_small = run_ir(module, [1]).return_value
+        before_big = run_ir(module, [9]).return_value
+        merged = tail_merge_function(module.function("main"))
+        assert merged == 1
+        assert len(module.function("main").blocks) == 3
+        verify_module(module)
+        assert run_ir(module, [1]).return_value == before_small
+        assert run_ir(module, [9]).return_value == before_big
+
+    def test_merge_ignores_debug_lines(self):
+        module = _duplicated_blocks_module()
+        fn = module.function("main")
+        left_lines = [i.dloc.line for i in fn.block("left").instrs]
+        right_lines = [i.dloc.line for i in fn.block("right").instrs]
+        assert left_lines != right_lines  # genuinely different source lines
+        assert tail_merge_function(fn) == 1
+
+    def test_different_code_not_merged(self, diamond_module):
+        assert tail_merge_function(diamond_module.function("main")) == 0
+
+    def test_probes_block_merge(self):
+        module = _duplicated_blocks_module()
+        insert_pseudo_probes(module)
+        assert tail_merge_function(module.function("main")) == 0
+
+    def test_counters_block_merge(self):
+        module = _duplicated_blocks_module()
+        instrument_module(module)
+        assert tail_merge_function(module.function("main")) == 0
+
+    def test_merged_counts_sum(self):
+        module = _duplicated_blocks_module()
+        fn = module.function("main")
+        fn.block("left").count = 30.0
+        fn.block("right").count = 70.0
+        tail_merge_function(fn)
+        survivor = next(b for b in fn.blocks
+                        if b.label in ("left", "right"))
+        assert survivor.count == 100.0
+
+    def test_entry_not_merged(self):
+        mb = ModuleBuilder("m")
+        f = mb.function("main", ["%x"])
+        f.block("entry").add("%r", "%x", 1).ret("%r")
+        f.block("twin").add("%r", "%x", 1).ret("%r")
+        module = mb.build()
+        # twin is unreachable but identical to entry: entry must survive.
+        tail_merge_function(module.function("main"))
+        assert module.function("main").entry.label == "entry"

@@ -1,0 +1,98 @@
+"""Loop unrolling: semantics, probe duplication, profile maintenance."""
+
+from repro.ir import ModuleBuilder, PseudoProbe, verify_module
+from repro.opt import OptConfig, unroll_function
+from repro.probes import insert_pseudo_probes, instrument_module
+from repro.profile.summary import ProfileSummary
+from tests.conftest import run_ir
+
+
+def _dowhile_module():
+    mb = ModuleBuilder("m")
+    f = mb.function("main", ["%n"])
+    f.block("entry").mov("%i", 0).mov("%sum", 0).br("dw")
+    (f.block("dw")
+        .add("%sum", "%sum", "%i")
+        .add("%i", "%i", 1)
+        .cmp("slt", "%c", "%i", "%n")
+        .condbr("%c", "dw", "out"))
+    f.block("out").ret("%sum")
+    module = mb.build()
+    verify_module(module)
+    return module
+
+
+def _hot_summary():
+    return ProfileSummary(hot_count=10.0, cold_count=0.0, total=1e6,
+                          num_counts=10)
+
+
+def _annotate_hot(fn):
+    fn.entry.count = 1.0
+    fn.block("dw").count = 1000.0
+    fn.block("out").count = 1.0
+    fn.entry_count = 1.0
+
+
+class TestUnroll:
+    def test_hot_selfloop_unrolled(self):
+        module = _dowhile_module()
+        fn = module.function("main")
+        _annotate_hot(fn)
+        assert unroll_function(fn, OptConfig(), _hot_summary()) == 1
+        assert len(fn.blocks) == 3 + 3  # 3 original + 3 copies (factor 4)
+        verify_module(module)
+
+    def test_semantics_for_all_trip_counts(self):
+        for n in [1, 2, 3, 4, 5, 7, 8, 9, 100]:
+            module = _dowhile_module()
+            expected = run_ir(module, [n]).return_value
+            fn = module.function("main")
+            _annotate_hot(fn)
+            unroll_function(fn, OptConfig(), _hot_summary())
+            assert run_ir(module, [n]).return_value == expected, f"n={n}"
+
+    def test_cold_loop_not_unrolled(self):
+        module = _dowhile_module()
+        fn = module.function("main")
+        fn.entry.count = 1.0
+        fn.block("dw").count = 5.0  # below hot threshold
+        assert unroll_function(fn, OptConfig(), _hot_summary()) == 0
+
+    def test_unannotated_loop_not_unrolled(self):
+        module = _dowhile_module()
+        assert unroll_function(module.function("main"), OptConfig(),
+                               _hot_summary()) == 0
+
+    def test_counts_divided_by_factor(self):
+        module = _dowhile_module()
+        fn = module.function("main")
+        _annotate_hot(fn)
+        unroll_function(fn, OptConfig(unroll_factor=4), _hot_summary())
+        copies = [b for b in fn.blocks if b.label.startswith("dw")]
+        assert all(b.count == 250.0 for b in copies)
+
+    def test_probes_duplicated_with_same_id(self):
+        module = _dowhile_module()
+        insert_pseudo_probes(module)
+        fn = module.function("main")
+        _annotate_hot(fn)
+        original_probe = fn.block("dw").probes()[0]
+        unroll_function(fn, OptConfig(), _hot_summary())
+        copies = [i for i in fn.instructions() if isinstance(i, PseudoProbe)
+                  and i.probe_id == original_probe.probe_id]
+        assert len(copies) == 4  # one per unrolled copy: correlation sums
+
+    def test_counters_block_unroll(self):
+        module = _dowhile_module()
+        instrument_module(module)
+        fn = module.function("main")
+        _annotate_hot(fn)
+        assert unroll_function(fn, OptConfig(), _hot_summary()) == 0
+
+    def test_large_body_not_unrolled(self):
+        module = _dowhile_module()
+        fn = module.function("main")
+        _annotate_hot(fn)
+        config = OptConfig(unroll_max_body_instrs=2)
+        assert unroll_function(fn, config, _hot_summary()) == 0

@@ -1,0 +1,109 @@
+"""Cost model components: predictor, icache, cycle accounting."""
+
+import pytest
+
+from repro.codegen.mir import MInstr
+from repro.perfmodel import (BASE_COSTS, BranchPredictor, CostModel, ICache,
+                             ICACHE_MISS_PENALTY, MISPREDICT_PENALTY,
+                             TAKEN_BRANCH_PENALTY)
+
+
+class TestBranchPredictor:
+    def test_learns_stable_direction(self):
+        predictor = BranchPredictor()
+        for _ in range(100):
+            predictor.predict_and_update(0x100, True)
+        assert predictor.mispredicts <= 3  # warm-up only
+
+    def test_alternating_pattern_mispredicts_heavily(self):
+        predictor = BranchPredictor()
+        for i in range(200):
+            predictor.predict_and_update(0x100, i % 2 == 0)
+        assert predictor.mispredicts >= 80
+
+    def test_independent_per_address(self):
+        predictor = BranchPredictor()
+        for _ in range(50):
+            predictor.predict_and_update(0x100, True)
+            predictor.predict_and_update(0x200, False)
+        assert predictor.mispredicts <= 4
+
+    def test_biased_branch_mostly_predicted(self):
+        predictor = BranchPredictor()
+        outcomes = ([True] * 9 + [False]) * 30
+        for taken in outcomes:
+            predictor.predict_and_update(0x100, taken)
+        rate = predictor.mispredicts / predictor.predictions
+        assert rate < 0.3
+
+
+class TestICache:
+    def test_repeat_access_hits(self):
+        cache = ICache()
+        cache.access(0x1000)
+        assert cache.access(0x1000)
+        assert cache.misses == 1
+
+    def test_conflicting_lines_evict(self):
+        cache = ICache(num_sets=4, line_bits=6)
+        a, b = 0x1000, 0x1000 + 4 * 64  # same set, different tags
+        cache.access(a)
+        cache.access(b)
+        assert not cache.access(a)  # evicted
+
+    def test_distinct_sets_coexist(self):
+        cache = ICache(num_sets=4, line_bits=6)
+        cache.access(0x1000)
+        cache.access(0x1040)
+        assert cache.access(0x1000)
+        assert cache.access(0x1040)
+
+
+class TestCostModel:
+    def _instr(self, kind, addr=0x1000):
+        minstr = MInstr(kind) if kind != "binop" else MInstr("binop", op="add")
+        minstr.addr = addr
+        return minstr
+
+    def test_base_costs_accumulate(self):
+        model = CostModel()
+        model.on_retire(self._instr("binop"), None)
+        model.on_retire(self._instr("mov"), None)
+        expected = (BASE_COSTS["binop"] + BASE_COSTS["mov"]
+                    + ICACHE_MISS_PENALTY)  # first line fetch misses
+        assert model.cycles == pytest.approx(expected)
+
+    def test_taken_branch_penalty(self):
+        model = CostModel()
+        br = self._instr("br")
+        model.on_retire(br, taken_target=0x1008)  # same line: no new miss
+        assert model.branch_cycles == TAKEN_BRANCH_PENALTY
+
+    def test_mispredict_penalty(self):
+        model = CostModel()
+        model.on_branch(0x1000, True)   # weakly-not-taken start: mispredict
+        assert model.branch_cycles == MISPREDICT_PENALTY
+
+    def test_far_jump_costs_icache(self):
+        model = CostModel()
+        jmp = self._instr("jmp", addr=0x1000)
+        model.on_retire(jmp, taken_target=0x9000)
+        assert model.icache.misses == 2  # fetch line + target line
+
+    def test_sequential_same_line_free(self):
+        model = CostModel()
+        model.on_retire(self._instr("mov", addr=0x1000), None)
+        first = model.icache_cycles
+        model.on_retire(self._instr("mov", addr=0x1004), None)
+        assert model.icache_cycles == first
+
+    def test_counter_instruction_is_expensive(self):
+        assert BASE_COSTS["count"] > 3 * BASE_COSTS["binop"]
+
+    def test_summary_keys(self):
+        model = CostModel()
+        model.on_retire(self._instr("mov"), None)
+        summary = model.summary()
+        for key in ("cycles", "base_cycles", "branch_cycles", "icache_cycles",
+                    "mispredicts", "icache_misses", "instructions"):
+            assert key in summary

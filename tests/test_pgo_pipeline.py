@@ -1,0 +1,115 @@
+"""End-to-end PGO pipeline: builds, drivers, variant behaviours."""
+
+import pytest
+
+from repro import (PGODriverConfig, PGOVariant, build, compare_variants,
+                   measure_run, run_pgo, speedup_over)
+from repro.hw import PMUConfig
+from repro.profile import ContextProfile, FlatProfile
+from tests.conftest import run_ir
+
+
+@pytest.fixture(scope="module")
+def workload():
+    from repro.workloads import WorkloadSpec, build_workload
+    return build_workload(WorkloadSpec("pgo-e2e", seed=7, n_leaf=5,
+                                       n_dispatch=2, n_mid=4, n_wrapper=1,
+                                       n_workers=2, n_services=2,
+                                       requests=80))
+
+
+@pytest.fixture(scope="module")
+def driver_config():
+    return PGODriverConfig(pmu=PMUConfig(period=31))
+
+
+@pytest.fixture(scope="module")
+def all_results(workload, driver_config):
+    return compare_variants(workload, [80], [80], config=driver_config)
+
+
+class TestBuild:
+    def test_plain_build_has_no_anchors(self, workload):
+        artifacts = build(workload, PGOVariant.NONE)
+        kinds = {i.kind for i in artifacts.binary.instrs}
+        assert "count" not in kinds
+        assert artifacts.probe_meta is None
+
+    def test_probe_build_has_metadata(self, workload):
+        artifacts = build(workload, PGOVariant.CSSPGO_FULL)
+        assert artifacts.probe_meta is not None
+        assert artifacts.probe_meta.num_records > 0
+        assert artifacts.sizes.probe_metadata > 0
+
+    def test_instrumented_build_has_counters(self, workload):
+        artifacts = build(workload, PGOVariant.INSTR, instrument=True)
+        kinds = [i.kind for i in artifacts.binary.instrs]
+        assert "count" in kinds
+        assert artifacts.imap is not None
+
+
+class TestDriverEndToEnd:
+    def test_all_variants_complete(self, all_results):
+        assert set(all_results) == {PGOVariant.NONE, PGOVariant.AUTOFDO,
+                                    PGOVariant.CSSPGO_PROBE_ONLY,
+                                    PGOVariant.CSSPGO_FULL, PGOVariant.INSTR}
+        for result in all_results.values():
+            assert result.eval is not None and result.eval.cycles > 0
+
+    def test_all_variants_compute_same_answer(self, workload, all_results):
+        expected = run_ir(workload, [80]).return_value
+        from repro.hw import execute
+        for variant, result in all_results.items():
+            got = execute(result.final.binary, [80]).return_value
+            assert got == expected, f"{variant} changed program semantics"
+
+    def test_every_pgo_variant_beats_none(self, all_results):
+        baseline = all_results[PGOVariant.NONE]
+        for variant in (PGOVariant.AUTOFDO, PGOVariant.CSSPGO_PROBE_ONLY,
+                        PGOVariant.CSSPGO_FULL, PGOVariant.INSTR):
+            assert speedup_over(baseline, all_results[variant]) > 0, variant
+
+    def test_profiles_have_expected_types(self, all_results):
+        assert isinstance(all_results[PGOVariant.AUTOFDO].profile, FlatProfile)
+        assert isinstance(all_results[PGOVariant.CSSPGO_PROBE_ONLY].profile,
+                          FlatProfile)
+        assert isinstance(all_results[PGOVariant.CSSPGO_FULL].profile,
+                          ContextProfile)
+        assert isinstance(all_results[PGOVariant.INSTR].profile, dict)
+
+    def test_instrumentation_overhead_large(self, all_results):
+        instr = all_results[PGOVariant.INSTR]
+        none = all_results[PGOVariant.NONE]
+        overhead = instr.profiling_run.cycles / none.eval.cycles - 1.0
+        assert overhead > 0.3  # the pain the paper quantifies (73% on HHVM)
+
+    def test_csspgo_extras_present(self, all_results):
+        extras = all_results[PGOVariant.CSSPGO_FULL].extras
+        assert "preinline_decisions" in extras
+        assert "frame_inference" in extras
+        assert "samples" in extras
+
+    def test_annotation_stats_recorded(self, all_results):
+        for variant in (PGOVariant.AUTOFDO, PGOVariant.CSSPGO_FULL):
+            stats = all_results[variant].final.annotation
+            assert stats is not None and stats.annotated
+
+    def test_pseudo_probe_overhead_near_zero(self, workload):
+        plain = build(workload, PGOVariant.NONE)
+        probed = build(workload, PGOVariant.CSSPGO_PROBE_ONLY)
+        plain_run = measure_run(plain, [80])
+        probed_run = measure_run(probed, [80])
+        overhead = probed_run.cycles / plain_run.cycles - 1.0
+        assert abs(overhead) < 0.02  # Fig. 8: within noise
+
+
+class TestQualityEval:
+    def test_table1_ordering(self, workload, driver_config):
+        from repro.pgo.quality_eval import evaluate_profile_quality
+        report = evaluate_profile_quality(workload, [80], driver_config)
+        assert report.block_overlap["instr"] == 1.0
+        assert (report.block_overlap["autofdo"]
+                < report.block_overlap["csspgo"] <= 1.0)
+        assert report.profiling_overhead["instr"] > 0.3
+        assert abs(report.profiling_overhead["csspgo"]) < 0.02
+        assert report.profiling_overhead["autofdo"] == 0.0

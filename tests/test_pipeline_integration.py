@@ -1,0 +1,68 @@
+"""Integration: the optimization pipeline's profile-guided behaviours fire."""
+
+from repro import PGODriverConfig, PGOVariant, run_pgo
+from repro.hw import PMUConfig
+from repro.ir import PseudoProbe, Select
+from repro.opt import function_size
+
+
+class TestProfileGuidedPipeline:
+    def _result(self, small_workload, variant):
+        config = PGODriverConfig(pmu=PMUConfig(period=31))
+        return run_pgo(small_workload, variant, [60], [60], config)
+
+    def test_final_build_annotated_and_summarized(self, small_workload):
+        result = self._result(small_workload, PGOVariant.CSSPGO_PROBE_ONLY)
+        module = result.final.module
+        assert module.profile_summary is not None
+        assert module.profile_summary.total > 0
+        annotated = [b for fn in module.functions.values()
+                     for b in fn.blocks if b.count is not None]
+        assert annotated
+
+    def test_cold_splitting_occurred(self, small_workload):
+        result = self._result(small_workload, PGOVariant.CSSPGO_PROBE_ONLY)
+        cold = [b for fn in result.final.module.functions.values()
+                for b in fn.blocks if b.is_cold]
+        assert cold, "a profiled build should exile some cold blocks"
+        assert any(sym.cold_range for sym
+                   in result.final.binary.symbols.values())
+
+    def test_inlining_occurred_under_profile(self, small_workload):
+        none = self._result(small_workload, PGOVariant.NONE)
+        pgo = self._result(small_workload, PGOVariant.CSSPGO_PROBE_ONLY)
+        none_calls = sum(1 for i in none.final.binary.instrs
+                         if i.kind == "call")
+        pgo_calls = sum(1 for i in pgo.final.binary.instrs
+                        if i.kind == "call")
+        # Static call sites may differ; the profiled build should not have
+        # wildly more remaining calls per function.
+        assert pgo_calls <= none_calls * 3
+
+    def test_unrolled_loops_present(self, small_workload):
+        result = self._result(small_workload, PGOVariant.CSSPGO_PROBE_ONLY)
+        labels = [b.label for fn in result.final.module.functions.values()
+                  for b in fn.blocks]
+        assert any(".unroll" in label for label in labels)
+
+    def test_if_conversion_produced_selects(self, small_workload):
+        result = self._result(small_workload, PGOVariant.CSSPGO_PROBE_ONLY)
+        selects = [i for fn in result.final.module.functions.values()
+                   for i in fn.instructions() if isinstance(i, Select)]
+        assert selects
+
+    def test_probes_survive_whole_pipeline(self, small_workload):
+        result = self._result(small_workload, PGOVariant.CSSPGO_FULL)
+        probes = [i for fn in result.final.module.functions.values()
+                  for i in fn.instructions() if isinstance(i, PseudoProbe)]
+        assert probes
+        # And the binary's metadata matches.
+        assert result.final.probe_meta.num_records > 0
+
+    def test_function_ordering_by_hotness(self, small_workload):
+        result = self._result(small_workload, PGOVariant.CSSPGO_PROBE_ONLY)
+        binary = result.final.binary
+        symbols = sorted(binary.symbols.values(), key=lambda s: s.entry_addr)
+        counts = [s.entry_count or 0.0 for s in symbols]
+        # Hot functions placed first: the first symbol is hotter than the last.
+        assert counts[0] >= counts[-1]

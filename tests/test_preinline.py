@@ -1,0 +1,155 @@
+"""Pre-inliner (Algorithm 2) and binary size extraction (Algorithm 3)."""
+
+from repro.codegen import link
+from repro.opt import inline_call
+from repro.preinline import (PreInlinerConfig, SizeTable,
+                             extract_function_sizes, profiled_call_graph,
+                             run_preinliner, should_inline, top_down_order)
+from repro.probes import insert_pseudo_probes
+from repro.profile import (ATTR_SHOULD_INLINE, ContextProfile, base_context,
+                           make_context)
+from tests.conftest import build_call_module
+
+
+class TestSizeExtractor:
+    def test_standalone_sizes(self):
+        module = build_call_module()
+        insert_pseudo_probes(module)
+        binary = link(module)
+        table = extract_function_sizes(binary)
+        main_size = table.size_for(base_context("main"))
+        helper_size = table.size_for(base_context("helper"))
+        assert main_size is not None and helper_size is not None
+        assert main_size + helper_size == binary.text_size
+
+    def test_inlined_copy_gets_context_size(self):
+        module = build_call_module()
+        insert_pseudo_probes(module)
+        main = module.function("main")
+        call = main.block("entry").calls()[0]
+        idx = main.block("entry").instrs.index(call)
+        probe_id = call.probe_id
+        inline_call(module, main, "entry", idx)
+        binary = link(module)
+        table = extract_function_sizes(binary)
+        ctx = make_context(("main", probe_id), ("helper", None))
+        specialized = table.size_for(ctx)
+        assert specialized is not None and specialized > 0
+        # Exclusive accounting: main's own bytes exclude the inlined copy.
+        assert (table.size_for(base_context("main")) + specialized
+                + table.size_for(base_context("helper"))
+                == binary.text_size)
+
+    def test_fallback_to_standalone(self):
+        module = build_call_module()
+        insert_pseudo_probes(module)
+        table = extract_function_sizes(link(module))
+        unseen = make_context(("main", 99), ("helper", None))
+        assert table.size_for(unseen) == table.size_for(base_context("helper"))
+
+    def test_unknown_function_is_none(self):
+        table = SizeTable()
+        table.finalize()
+        assert table.size_for(base_context("ghost")) is None
+
+
+class TestCallGraph:
+    def test_top_down_order(self):
+        profile = ContextProfile()
+        ctx = make_context(("main", 1), ("svc", None))
+        profile.get_or_create(ctx).add_body(1, 10.0)
+        deep = make_context(("main", 1), ("svc", 2), ("leaf", None))
+        profile.get_or_create(deep).add_body(1, 10.0)
+        profile.finalize()
+        graph = profiled_call_graph(profile)
+        order = top_down_order(graph)
+        assert order.index("main") < order.index("svc") < order.index("leaf")
+
+
+class TestShouldInline:
+    def test_hot_gets_big_threshold(self):
+        config = PreInlinerConfig(hot_callsite_fraction=0.01,
+                                  size_threshold_hot=400,
+                                  size_threshold_normal=50)
+        assert should_inline(300, hotness=1000.0, total_samples=10_000.0,
+                             config=config)
+        assert not should_inline(300, hotness=10.0, total_samples=10_000.0,
+                                 config=config)
+        assert should_inline(40, hotness=10.0, total_samples=10_000.0,
+                             config=config)
+
+    def test_zero_hotness_never_inlines(self):
+        config = PreInlinerConfig()
+        assert not should_inline(1, hotness=0.0, total_samples=100.0,
+                                 config=config)
+
+
+class TestPreInliner:
+    def _profile(self, hot_head=5000.0, cold_head=1.0):
+        profile = ContextProfile()
+        base_main = profile.get_or_create(base_context("main"))
+        base_main.body = {1: 100.0}
+        hot = profile.get_or_create(make_context(("main", 2), ("hotfn", None)))
+        hot.head = hot_head
+        hot.body = {1: hot_head, 2: hot_head * 10}
+        cold = profile.get_or_create(make_context(("main", 3), ("coldfn", None)))
+        cold.head = cold_head
+        cold.body = {1: cold_head}
+        profile.finalize()
+        return profile
+
+    def _sizes(self):
+        table = SizeTable()
+        table.size_for_context[base_context("main")] = 100
+        table.size_for_context[base_context("hotfn")] = 80
+        table.size_for_context[base_context("coldfn")] = 80
+        table.finalize()
+        return table
+
+    def test_hot_marked_cold_merged(self):
+        profile = self._profile()
+        decisions = run_preinliner(profile, self._sizes())
+        hot_ctx = make_context(("main", 2), ("hotfn", None))
+        assert ATTR_SHOULD_INLINE in profile.contexts[hot_ctx].attributes
+        # Cold context merged into coldfn's base.
+        assert make_context(("main", 3), ("coldfn", None)) not in profile.contexts
+        assert profile.base("coldfn").total == 1.0
+        assert any(d.inlined for d in decisions)
+        assert any(not d.inlined for d in decisions)
+
+    def test_size_threshold_declines_huge_callee(self):
+        profile = self._profile()
+        table = self._sizes()
+        table.size_for_context[base_context("hotfn")] = 100_000
+        run_preinliner(profile, table)
+        hot_ctx = make_context(("main", 2), ("hotfn", None))
+        assert hot_ctx not in profile.contexts  # declined -> merged to base
+        assert profile.base("hotfn").total > 0
+
+    def test_budget_limits_total_marks(self):
+        profile = ContextProfile()
+        base_main = profile.get_or_create(base_context("main"))
+        base_main.body = {1: 10.0}
+        for i in range(20):
+            ctx = make_context(("main", i + 2), (f"f{i}", None))
+            rec = profile.get_or_create(ctx)
+            rec.head = 10_000.0
+            rec.body = {1: 10_000.0}
+        profile.finalize()
+        table = SizeTable()
+        table.size_for_context[base_context("main")] = 100
+        for i in range(20):
+            table.size_for_context[base_context(f"f{i}")] = 300
+        table.finalize()
+        config = PreInlinerConfig(caller_size_limit=1000,
+                                  size_threshold_hot=400)
+        decisions = run_preinliner(profile, table, config)
+        marked = [d for d in decisions if d.inlined]
+        assert 0 < len(marked) <= 4  # (1000 - 100) / 300 = 3 fit the budget
+
+    def test_transformed_profile_has_only_bases_and_marked(self):
+        profile = self._profile()
+        run_preinliner(profile, self._sizes())
+        for ctx, samples in profile.contexts.items():
+            assert (len(ctx) == 1
+                    or ATTR_SHOULD_INLINE in samples.attributes)

@@ -1,0 +1,81 @@
+"""Unit tests for pseudo-probe and instrumentation insertion."""
+
+from repro.ir import Call, InstrProfIncrement, PseudoProbe, verify_module
+from repro.probes import (ProbeKind, has_probes, insert_pseudo_probes,
+                          instrument_module)
+from tests.conftest import build_call_module, build_loop_module, run_ir
+
+
+class TestProbeInsertion:
+    def test_every_block_gets_one_probe(self, loop_module):
+        insert_pseudo_probes(loop_module)
+        fn = loop_module.function("main")
+        for block in fn.blocks:
+            probes = block.probes()
+            assert len(probes) == 1
+            assert block.instrs[0] is probes[0]
+
+    def test_probe_ids_unique_per_function(self, loop_module):
+        table = insert_pseudo_probes(loop_module)
+        desc = table.get_by_name("main")
+        ids = [p.probe_id for p in desc.probes.values()]
+        assert len(ids) == len(set(ids))
+
+    def test_call_sites_get_probe_ids(self):
+        module = build_call_module()
+        table = insert_pseudo_probes(module)
+        call = module.function("main").block("entry").calls()[0]
+        assert call.probe_id is not None
+        assert call.lexical_guid == module.function("main").guid
+        desc = table.get_by_name("main").probes[call.probe_id]
+        assert desc.kind == ProbeKind.CALL and desc.callee == "helper"
+
+    def test_checksum_persisted(self, loop_module):
+        insert_pseudo_probes(loop_module)
+        fn = loop_module.function("main")
+        assert fn.probe_checksum is not None
+        assert loop_module.probe_guid_checksums[fn.guid] == fn.probe_checksum
+        assert loop_module.probe_guid_names[fn.guid] == "main"
+
+    def test_probes_do_not_change_semantics(self):
+        module = build_call_module()
+        before = run_ir(module, [9]).return_value
+        insert_pseudo_probes(module)
+        verify_module(module)
+        assert run_ir(module, [9]).return_value == before
+
+    def test_has_probes(self, loop_module):
+        assert not has_probes(loop_module.function("main"))
+        insert_pseudo_probes(loop_module)
+        assert has_probes(loop_module.function("main"))
+
+    def test_probe_guids_match_function(self, loop_module):
+        insert_pseudo_probes(loop_module)
+        fn = loop_module.function("main")
+        for instr in fn.instructions():
+            if isinstance(instr, PseudoProbe):
+                assert instr.guid == fn.guid
+                assert instr.inline_stack == ()
+
+
+class TestInstrumentation:
+    def test_every_block_gets_counter(self, loop_module):
+        imap = instrument_module(loop_module)
+        fn = loop_module.function("main")
+        assert imap.num_counters["main"] == len(fn.blocks)
+        for block in fn.blocks:
+            assert isinstance(block.instrs[0], InstrProfIncrement)
+
+    def test_counters_count_exact_block_executions(self):
+        module = build_loop_module()
+        imap = instrument_module(module)
+        result = run_ir(module, [10])
+        body_id = next(cid for (fn, cid), label in imap.counter_block.items()
+                       if label == "body")
+        assert result.instr_counters[("main", body_id)] == 10
+
+    def test_counter_block_mapping(self, loop_module):
+        imap = instrument_module(loop_module)
+        labels = {imap.block_for("main", i)
+                  for i in range(imap.num_counters["main"])}
+        assert labels == {b.label for b in loop_module.function("main").blocks}

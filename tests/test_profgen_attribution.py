@@ -1,0 +1,95 @@
+"""Profile-generation attribution details: heads, call targets, contexts."""
+
+from repro.codegen import build_probe_metadata, link
+from repro.correlate import (Unwinder, generate_context_profile,
+                             generate_dwarf_profile, generate_probe_profile)
+from repro.hw import PMUConfig, execute, make_pmu
+from repro.ir import ModuleBuilder, verify_module
+from repro.probes import insert_pseudo_probes
+from repro.profile import base_context
+
+
+def _hot_call_module():
+    mb = ModuleBuilder("m")
+    f = mb.function("callee", ["%v"])
+    f.block("entry").mul("%r", "%v", 3).ret("%r")
+    f = mb.function("main", ["%n"])
+    f.block("entry").mov("%i", 0).mov("%s", 0).br("loop")
+    f.block("loop").cmp("slt", "%c", "%i", "%n").condbr("%c", "body", "out")
+    (f.block("body").call("%r", "callee", ["%i"])
+        .add("%s", "%s", "%r").add("%i", "%i", 1).br("loop"))
+    f.block("out").ret("%s")
+    module = mb.build()
+    module.function("callee").noinline = True
+    verify_module(module)
+    return module
+
+
+def _run(module, n=400, period=7):
+    binary = link(module)
+    meta = build_probe_metadata(binary, module)
+    pmu = make_pmu(PMUConfig(period=period))
+    result = execute(binary, [n], pmu=pmu)
+    return binary, meta, pmu.finish(result.instructions_retired)
+
+
+class TestHeadCounts:
+    def test_probe_head_tracks_call_frequency(self):
+        module = _hot_call_module()
+        insert_pseudo_probes(module)
+        binary, meta, data = _run(module)
+        profile = generate_probe_profile(binary, data, meta)
+        callee = profile.get("callee")
+        # Called every loop iteration: the head (sampled call branches) and
+        # the entry-probe body count measure the same event in the same
+        # sampled units, so they must agree closely.
+        assert callee.head > 0
+        assert abs(callee.head - callee.body[1]) < 0.25 * callee.body[1]
+
+    def test_dwarf_and_probe_agree_on_call_targets(self):
+        module = _hot_call_module()
+        insert_pseudo_probes(module)
+        binary, meta, data = _run(module)
+        probe_profile = generate_probe_profile(binary, data, meta)
+        dwarf_profile = generate_dwarf_profile(binary, data)
+        probe_targets = {t for targets in probe_profile.get("main").calls.values()
+                         for t in targets}
+        dwarf_targets = {t for targets in dwarf_profile.get("main").calls.values()
+                         for t in targets}
+        assert probe_targets == dwarf_targets == {"callee"}
+
+    def test_context_head_matches_flat_head(self):
+        module = _hot_call_module()
+        insert_pseudo_probes(module)
+        binary, meta, data = _run(module)
+        flat = generate_probe_profile(binary, data, meta)
+        ctx_profile, _ = generate_context_profile(binary, data, meta)
+        ctx_heads = sum(s.head for c, s in ctx_profile.contexts.items()
+                        if s.name == "callee")
+        assert ctx_heads == flat.get("callee").head
+
+
+class TestUnwinderCaching:
+    def test_stack_conversion_is_memoized(self):
+        module = _hot_call_module()
+        insert_pseudo_probes(module)
+        binary, _meta, data = _run(module, period=3)
+        unwinder = Unwinder(binary)
+        for sample in data.samples:
+            unwinder.unwind(sample)
+        distinct_stacks = {s.stack for s in data.samples}
+        assert len(unwinder._stack_cache) <= len(distinct_stacks)
+        assert len(unwinder._stack_cache) >= 1
+
+
+class TestBrokenContextFallback:
+    def test_unknown_context_lands_in_base(self):
+        """Samples whose physical context is unknown attribute to the base
+        context rather than being dropped."""
+        module = _hot_call_module()
+        insert_pseudo_probes(module)
+        binary, meta, data = _run(module, period=11)
+        ctx_profile, _ = generate_context_profile(binary, data, meta)
+        total = ctx_profile.total_samples()
+        flat = generate_probe_profile(binary, data, meta)
+        assert total == flat.total_samples()  # nothing dropped either way

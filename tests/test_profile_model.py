@@ -1,0 +1,183 @@
+"""Profile containers: contexts, tries, trimming, summary, serialization."""
+
+import pytest
+
+from repro.profile import (ATTR_SHOULD_INLINE, ContextProfile, FlatProfile,
+                           FunctionSamples, base_context, dump_context_profile,
+                           dump_flat_profile, extend_context, format_context,
+                           is_prefix, load_context_profile, load_flat_profile,
+                           make_context, parse_context, profile_size_bytes,
+                           profile_stats, trim_cold_contexts)
+from repro.profile.summary import ProfileSummary
+
+
+class TestContextTrie:
+    def _sample_profile(self):
+        profile = ContextProfile()
+        for ctx, total in [
+            (make_context(("main", None)), 10.0),
+            (make_context(("main", 3), ("svc", None)), 100.0),
+            (make_context(("main", 3), ("svc", 8), ("mid", None)), 1000.0),
+            (make_context(("main", 3), ("svc", 9), ("mid", None)), 50.0),
+        ]:
+            samples = profile.get_or_create(ctx)
+            samples.add_body(1, total)
+            samples.finalize()
+        return profile
+
+    def test_children_direct(self):
+        profile = self._sample_profile()
+        children = profile.children_of(base_context("main"))
+        assert children == [make_context(("main", 3), ("svc", None))]
+
+    def test_children_of_mid_level(self):
+        profile = self._sample_profile()
+        children = profile.children_of(make_context(("main", 3), ("svc", None)))
+        assert len(children) == 2
+
+    def test_implied_children_synthesized(self):
+        profile = ContextProfile()
+        deep = make_context(("main", 3), ("svc", 8), ("mid", None))
+        profile.get_or_create(deep).add_body(1, 5.0)
+        # No record for [main:3 @ svc], but it must appear as implied child.
+        children = profile.children_of(base_context("main"))
+        assert children == [make_context(("main", 3), ("svc", None))]
+
+    def test_subtree_total(self):
+        profile = self._sample_profile()
+        assert profile.subtree_total(
+            make_context(("main", 3), ("svc", None))) == 1150.0
+
+    def test_promote_subtree_reroots(self):
+        profile = self._sample_profile()
+        profile.promote_subtree(make_context(("main", 3), ("svc", None)))
+        assert base_context("svc") in profile.contexts
+        assert make_context(("svc", 8), ("mid", None)) in profile.contexts
+        assert make_context(("main", 3), ("svc", None)) not in profile.contexts
+
+    def test_flatten_merges_by_leaf(self):
+        profile = self._sample_profile()
+        flat = profile.flatten()
+        assert flat.get("mid").total == 1050.0
+        assert flat.get("svc").total == 100.0
+
+    def test_contexts_of(self):
+        profile = self._sample_profile()
+        assert len(profile.contexts_of("mid")) == 2
+
+
+class TestTrimming:
+    def test_cold_context_merged_into_base(self):
+        profile = ContextProfile()
+        hot = make_context(("main", 1), ("f", None))
+        cold = make_context(("main", 2), ("f", None))
+        profile.get_or_create(hot).add_body(1, 10_000.0)
+        profile.get_or_create(cold).add_body(1, 3.0)
+        profile.finalize()
+        kept, merged = trim_cold_contexts(profile, hot_fraction=0.01)
+        assert merged == 1
+        assert profile.base("f").total == 3.0
+        assert hot in profile.contexts
+
+    def test_thin_wrapper_on_hot_path_kept(self):
+        profile = ContextProfile()
+        wrapper = make_context(("main", 1), ("wrap", None))
+        deep = make_context(("main", 1), ("wrap", 2), ("worker", None))
+        profile.get_or_create(wrapper).add_body(1, 2.0)   # thin
+        profile.get_or_create(deep).add_body(1, 50_000.0)  # hot below it
+        profile.finalize()
+        trim_cold_contexts(profile, hot_fraction=0.01)
+        assert wrapper in profile.contexts  # subtree is hot: keep the node
+
+    def test_total_samples_preserved(self):
+        profile = ContextProfile()
+        for i in range(6):
+            ctx = make_context(("main", i), ("f", None))
+            profile.get_or_create(ctx).add_body(1, float(10 ** i))
+        profile.finalize()
+        before = profile.total_samples()
+        trim_cold_contexts(profile, hot_fraction=0.01)
+        assert profile.total_samples() == pytest.approx(before)
+
+
+class TestSummary:
+    def test_hot_cold_thresholds(self):
+        counts = [1000.0] * 9 + [1.0] * 10
+        summary = ProfileSummary.from_counts(counts, hot_coverage=0.99,
+                                             cold_coverage=0.9999)
+        assert summary.is_hot(1000.0)
+        assert not summary.is_hot(1.0)
+
+    def test_empty_counts(self):
+        summary = ProfileSummary.from_counts([])
+        assert not summary.is_hot(100.0)
+        assert summary.total == 0.0
+
+    def test_from_module(self, loop_module):
+        fn = loop_module.function("main")
+        for block, count in zip(fn.blocks, [1.0, 101.0, 100.0, 1.0]):
+            block.count = count
+        summary = ProfileSummary.from_module(loop_module)
+        assert summary.is_hot(101.0)
+
+
+class TestSerialization:
+    def test_flat_round_trip(self):
+        profile = FlatProfile(FlatProfile.KIND_PROBE)
+        samples = profile.get_or_create("foo")
+        samples.head = 12.0
+        samples.add_body(1, 100.0)
+        samples.add_body(2, 50.0)
+        samples.add_call(3, "bar", 49.0)
+        samples.checksum = 987654321
+        samples.dangling.add(4)
+        samples.attributes.add(ATTR_SHOULD_INLINE)
+        profile.finalize()
+        loaded = load_flat_profile(dump_flat_profile(profile))
+        got = loaded.get("foo")
+        assert loaded.kind == FlatProfile.KIND_PROBE
+        assert got.head == 12.0 and got.total == 150.0
+        assert got.body == {1: 100.0, 2: 50.0}
+        assert got.calls == {3: {"bar": 49.0}}
+        assert got.checksum == 987654321
+        assert got.dangling == {4}
+        assert ATTR_SHOULD_INLINE in got.attributes
+
+    def test_dwarf_keys_round_trip(self):
+        profile = FlatProfile(FlatProfile.KIND_DWARF)
+        samples = profile.get_or_create("foo")
+        samples.add_body((4, 1), 9.0)
+        profile.finalize()
+        loaded = load_flat_profile(dump_flat_profile(profile))
+        assert loaded.get("foo").body == {(4, 1): 9.0}
+
+    def test_context_round_trip(self):
+        profile = ContextProfile()
+        ctx = parse_context("[main:3 @ svc:8 @ mid]")
+        samples = profile.get_or_create(ctx)
+        samples.add_body(1, 44.0)
+        samples.attributes.add(ATTR_SHOULD_INLINE)
+        profile.finalize()
+        loaded = load_context_profile(dump_context_profile(profile))
+        assert ctx in loaded.contexts
+        assert loaded.contexts[ctx].body == {1: 44.0}
+        assert ATTR_SHOULD_INLINE in loaded.contexts[ctx].attributes
+
+    def test_size_grows_with_contexts(self):
+        flat = FlatProfile(FlatProfile.KIND_PROBE)
+        flat.get_or_create("f").add_body(1, 5.0)
+        flat.finalize()
+        ctx_profile = ContextProfile()
+        for i in range(10):
+            ctx = make_context(("main", i), ("f", None))
+            ctx_profile.get_or_create(ctx).add_body(1, 5.0)
+        ctx_profile.finalize()
+        assert (profile_size_bytes(ctx_profile)
+                > profile_size_bytes(flat))
+
+    def test_stats_fields(self):
+        flat = FlatProfile(FlatProfile.KIND_PROBE)
+        flat.get_or_create("f").add_body(1, 5.0)
+        flat.finalize()
+        stats = profile_stats(flat)
+        assert stats["records"] == 1.0 and stats["total_samples"] == 5.0

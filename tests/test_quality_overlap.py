@@ -1,0 +1,49 @@
+"""Block-overlap metric (paper sec. IV.C formulas)."""
+
+import pytest
+
+from repro.quality import (block_overlap_function, block_overlap_program,
+                           module_block_counts)
+
+
+class TestFunctionOverlap:
+    def test_identical_profiles_overlap_fully(self):
+        counts = {"a": 10.0, "b": 90.0}
+        assert block_overlap_function(counts, dict(counts)) == pytest.approx(1.0)
+
+    def test_scaled_profiles_overlap_fully(self):
+        f = {"a": 10.0, "b": 90.0}
+        gt = {"a": 1.0, "b": 9.0}
+        assert block_overlap_function(f, gt) == pytest.approx(1.0)
+
+    def test_disjoint_profiles_do_not_overlap(self):
+        assert block_overlap_function({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_partial_overlap(self):
+        f = {"a": 50.0, "b": 50.0}
+        gt = {"a": 100.0, "b": 0.0}
+        assert block_overlap_function(f, gt) == pytest.approx(0.5)
+
+    def test_both_cold_is_perfect(self):
+        assert block_overlap_function({}, {}) == 1.0
+
+    def test_one_cold_is_zero(self):
+        assert block_overlap_function({"a": 5.0}, {}) == 0.0
+
+
+class TestProgramOverlap:
+    def test_weighted_by_test_profile_share(self):
+        f = {"hot": {"a": 99.0}, "cold": {"a": 1.0}}
+        gt = {"hot": {"a": 99.0}, "cold": {"b": 1.0}}
+        # hot matches fully (weight .99), cold not at all (weight .01).
+        assert block_overlap_program(f, gt) == pytest.approx(0.99)
+
+    def test_empty_profile(self):
+        assert block_overlap_program({}, {"f": {"a": 1.0}}) == 0.0
+
+    def test_module_block_counts_extraction(self, loop_module):
+        fn = loop_module.function("main")
+        fn.block("loop").count = 5.0
+        fn.block("body").count = 4.0
+        counts = module_block_counts(loop_module)
+        assert counts == {"main": {"loop": 5.0, "body": 4.0}}

@@ -1,0 +1,124 @@
+"""Property-based tests (hypothesis) on arithmetic semantics and profile
+containers — the invariants everything else is built on."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.semantics import eval_binop, eval_cmp, to_i64, wrap_index
+from repro.profile import (FunctionSamples, base_context, extend_context,
+                           format_context, is_prefix, leaf_function,
+                           parent_context, parse_context)
+
+i64 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+anyint = st.integers(min_value=-(2**70), max_value=2**70)
+
+
+class TestArithmeticProperties:
+    @given(anyint)
+    def test_to_i64_is_idempotent(self, value):
+        assert to_i64(to_i64(value)) == to_i64(value)
+
+    @given(anyint)
+    def test_to_i64_range(self, value):
+        wrapped = to_i64(value)
+        assert -(2**63) <= wrapped < 2**63
+
+    @given(i64, i64, st.sampled_from(["add", "sub", "mul", "and", "or",
+                                      "xor", "shl", "ashr", "sdiv", "srem"]))
+    def test_binop_closed_over_i64(self, a, b, op):
+        result = eval_binop(op, a, b)
+        assert -(2**63) <= result < 2**63
+
+    @given(i64, i64)
+    def test_div_rem_identity(self, a, b):
+        if b != 0:
+            q = eval_binop("sdiv", a, b)
+            r = eval_binop("srem", a, b)
+            assert to_i64(q * b + r) == to_i64(a)
+
+    @given(i64, i64)
+    def test_add_sub_inverse(self, a, b):
+        assert eval_binop("sub", eval_binop("add", a, b), b) == to_i64(a)
+
+    @given(i64, i64)
+    def test_cmp_trichotomy(self, a, b):
+        assert (eval_cmp("slt", a, b) + eval_cmp("eq", a, b)
+                + eval_cmp("sgt", a, b)) == 1
+
+    @given(st.integers(), st.integers(min_value=1, max_value=10**6))
+    def test_wrap_index_in_bounds(self, index, size):
+        assert 0 <= wrap_index(index, size) < size
+
+
+names = st.sampled_from(["main", "svc", "mid", "leaf", "disp"])
+sites = st.integers(min_value=1, max_value=40)
+
+
+@st.composite
+def contexts(draw, max_depth=4):
+    depth = draw(st.integers(min_value=1, max_value=max_depth))
+    frames = []
+    for _ in range(depth - 1):
+        frames.append((draw(names), draw(sites)))
+    frames.append((draw(names), None))
+    return tuple(frames)
+
+
+class TestContextProperties:
+    @given(contexts())
+    def test_format_parse_round_trip(self, ctx):
+        assert parse_context(format_context(ctx)) == ctx
+
+    @given(contexts())
+    def test_context_is_prefix_of_itself(self, ctx):
+        assert is_prefix(ctx, ctx)
+
+    @given(contexts(), sites, names)
+    def test_extend_then_parent_round_trip(self, ctx, site, callee):
+        child = extend_context(ctx, site, callee)
+        assert leaf_function(child) == callee
+        assert parent_context(child) == ctx
+        assert is_prefix(ctx, child)
+
+    @given(contexts())
+    def test_base_context_is_depth_one(self, ctx):
+        base = base_context(leaf_function(ctx))
+        assert len(base) == 1 and base[0][1] is None
+
+
+counts = st.dictionaries(st.integers(min_value=1, max_value=30),
+                         st.floats(min_value=0, max_value=1e7,
+                                   allow_nan=False), max_size=8)
+
+
+class TestFunctionSamplesProperties:
+    @given(counts, counts)
+    @settings(max_examples=50)
+    def test_merge_totals_add(self, body_a, body_b):
+        a = FunctionSamples("f")
+        b = FunctionSamples("f")
+        a.body.update(body_a)
+        b.body.update(body_b)
+        a.finalize()
+        b.finalize()
+        total_before = a.total + b.total
+        a.merge(b)
+        assert abs(a.total - total_before) < 1e-6 * max(1.0, total_before)
+
+    @given(counts)
+    def test_clone_is_equal_but_independent(self, body):
+        samples = FunctionSamples("f")
+        samples.body.update(body)
+        samples.finalize()
+        clone = samples.clone()
+        clone.add_body(999, 1.0)
+        assert 999 not in samples.body
+
+    @given(counts, st.floats(min_value=0.1, max_value=4.0, allow_nan=False))
+    def test_merge_scaling(self, body, scale):
+        a = FunctionSamples("f")
+        b = FunctionSamples("f")
+        b.body.update(body)
+        b.finalize()
+        a.merge(b, scale=scale)
+        assert abs(a.total - b.total * scale) < 1e-6 * max(1.0, b.total * scale)

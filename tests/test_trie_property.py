@@ -1,0 +1,90 @@
+"""Property-based tests on the context trie's structural invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.profile import (ContextProfile, base_context, is_prefix,
+                           leaf_function)
+
+FUNCS = ["main", "svc", "mid", "leaf", "disp", "work"]
+
+
+@st.composite
+def context_profiles(draw):
+    """A random context profile whose keys form realistic call chains."""
+    profile = ContextProfile()
+    n = draw(st.integers(min_value=1, max_value=12))
+    for _ in range(n):
+        depth = draw(st.integers(min_value=1, max_value=4))
+        frames = []
+        for level in range(depth - 1):
+            frames.append((FUNCS[min(level, len(FUNCS) - 1)],
+                           draw(st.integers(min_value=1, max_value=6))))
+        leaf_level = min(depth - 1, len(FUNCS) - 1)
+        frames.append((FUNCS[leaf_level], None))
+        samples = profile.get_or_create(tuple(frames))
+        samples.add_body(1, float(draw(st.integers(min_value=1,
+                                                   max_value=10_000))))
+        samples.head += draw(st.integers(min_value=0, max_value=100))
+    profile.finalize()
+    return profile
+
+
+class TestTrieInvariants:
+    @given(context_profiles())
+    @settings(max_examples=60, deadline=None)
+    def test_children_are_one_deeper_and_prefixed(self, profile):
+        for context in list(profile.contexts):
+            for child in profile.children_of(context):
+                assert len(child) == len(context) + 1
+                assert is_prefix(context, child)
+                assert child[-1][1] is None  # normalized leaf frame
+
+    @given(context_profiles())
+    @settings(max_examples=60, deadline=None)
+    def test_subtree_contains_self_when_present(self, profile):
+        for context in list(profile.contexts):
+            subtree = profile.subtree_of(context)
+            assert context in subtree
+            assert all(is_prefix(context, c) for c in subtree)
+
+    @given(context_profiles())
+    @settings(max_examples=40, deadline=None)
+    def test_promotion_preserves_total_samples(self, profile):
+        total = profile.total_samples()
+        candidates = [c for c in profile.contexts if len(c) > 1]
+        for context in candidates[:3]:
+            if context in profile.contexts:
+                profile.promote_subtree(context)
+        assert profile.total_samples() == total
+
+    @given(context_profiles())
+    @settings(max_examples=40, deadline=None)
+    def test_promotion_reroots_to_base(self, profile):
+        candidates = [c for c in profile.contexts if len(c) > 1]
+        if not candidates:
+            return
+        target = candidates[0]
+        leaf = leaf_function(target)
+        profile.promote_subtree(target)
+        assert target not in profile.contexts
+        assert base_context(leaf) in profile.contexts
+
+    @given(context_profiles())
+    @settings(max_examples=40, deadline=None)
+    def test_flatten_preserves_totals(self, profile):
+        total = profile.total_samples()
+        flat = profile.flatten()
+        assert abs(flat.total_samples() - total) < 1e-6 * max(1.0, total)
+
+    @given(context_profiles())
+    @settings(max_examples=40, deadline=None)
+    def test_subtree_total_decomposes(self, profile):
+        for context in list(profile.contexts)[:5]:
+            own = profile.contexts[context].total
+            children_subtotals = sum(profile.subtree_total(child)
+                                     for child in profile.children_of(context)
+                                     if child in profile.contexts
+                                     or profile.subtree_of(child))
+            # Children may be implied (no record); subtree_total handles it.
+            assert profile.subtree_total(context) >= own

@@ -1,0 +1,99 @@
+"""Workload generation: determinism, named configs, the Fig. 4 program."""
+
+from repro.ir import IRInterpreter, print_module, verify_module
+from repro.workloads import (CLANG_SPEC, SERVER_WORKLOADS, WorkloadSpec,
+                             build_clang_workload, build_server_workload,
+                             build_vectorops, build_workload)
+from tests.conftest import run_ir
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        a = build_workload(WorkloadSpec("w", seed=9))
+        b = build_workload(WorkloadSpec("w", seed=9))
+        assert print_module(a) == print_module(b)
+        assert (run_ir(a, [50]).return_value == run_ir(b, [50]).return_value)
+
+    def test_different_seeds_differ(self):
+        a = build_workload(WorkloadSpec("w", seed=1))
+        b = build_workload(WorkloadSpec("w", seed=2))
+        assert print_module(a) != print_module(b)
+
+    def test_all_generated_modules_verify(self):
+        for seed in range(8):
+            module = build_workload(WorkloadSpec("w", seed=seed))
+            verify_module(module)
+
+    def test_execution_terminates(self):
+        for seed in range(4):
+            module = build_workload(WorkloadSpec("w", seed=seed))
+            result = IRInterpreter(module, max_steps=5_000_000).run([100])
+            assert result.steps > 0
+
+    def test_function_population(self):
+        spec = WorkloadSpec("w", seed=3, n_leaf=5, n_dispatch=2, n_mid=3,
+                            n_wrapper=1, n_workers=2, n_services=2)
+        module = build_workload(spec)
+        names = set(module.functions)
+        assert "main" in names
+        assert sum(1 for n in names if n.startswith("leaf_")) == 5
+        assert sum(1 for n in names if n.startswith("dispatch_")) == 2
+        assert sum(1 for n in names if n.startswith("worker_")) == 2
+
+    def test_wrappers_are_noinline(self):
+        module = build_workload(WorkloadSpec("w", seed=3))
+        assert module.function("wrap_0").noinline
+
+    def test_hot_service_skew(self):
+        module = build_workload(WorkloadSpec("w", seed=3,
+                                             hot_service_share=0.8))
+        counts = run_ir(module, [200]).block_counts
+        svc0_entry = counts[("svc_0", "entry0")]
+        svc1_entry = counts[("svc_1", "entry0")]
+        assert svc0_entry > 2 * svc1_entry
+
+
+class TestNamedWorkloads:
+    def test_five_servers_defined(self):
+        assert set(SERVER_WORKLOADS) == {"adranker", "adretriever",
+                                         "adfinder", "hhvm", "haas"}
+
+    def test_server_workloads_build_and_run(self):
+        for name in SERVER_WORKLOADS:
+            module = build_server_workload(name)
+            verify_module(module)
+            result = IRInterpreter(module, max_steps=20_000_000).run([50])
+            assert result.steps > 0
+
+    def test_clang_workload_builds(self):
+        module = build_clang_workload()
+        verify_module(module)
+        assert len(module.functions) > 30  # compiler-like breadth
+
+    def test_workloads_are_distinct_programs(self):
+        texts = set()
+        for name in SERVER_WORKLOADS:
+            texts.add(print_module(build_server_workload(name))
+                      .split("\n", 1)[1])  # drop the module-name header
+        assert len(texts) == len(SERVER_WORKLOADS)
+
+
+class TestVectorOps:
+    def test_fig4_semantics(self):
+        module = build_vectorops()
+        verify_module(module)
+        result = run_ir(module, [3])
+        assert result.return_value is not None
+
+    def test_scalar_add_only_under_add_head(self):
+        module = build_vectorops()
+        result = run_ir(module, [2])
+        # scalarAdd executes exactly as often as addVectorHead's body.
+        add_calls = sum(c for (fn, _b, callee), c in result.call_counts.items()
+                        if callee == "scalarAdd")
+        add_body = result.block_counts[("addVectorHead", "body")]
+        assert add_calls == add_body
+        # And never from subVectorHead's path: counts must match exactly.
+        sub_calls = sum(c for (fn, _b, callee), c in result.call_counts.items()
+                        if callee == "scalarSub")
+        assert sub_calls == result.block_counts[("subVectorHead", "body")]
