@@ -13,6 +13,7 @@ Quickstart::
     print(result.eval.cycles)
 """
 
+from . import telemetry
 from .pgo import (BuildArtifacts, PGODriverConfig, PGORunResult, PGOVariant,
                   build, compare_variants, measure_run, run_pgo,
                   speedup_over)
@@ -23,5 +24,5 @@ __version__ = "1.0.0"
 __all__ = [
     "BuildArtifacts", "PGODriverConfig", "PGORunResult", "PGOVariant",
     "WorkloadSpec", "build", "build_workload", "compare_variants",
-    "measure_run", "run_pgo", "speedup_over", "__version__",
+    "measure_run", "run_pgo", "speedup_over", "telemetry", "__version__",
 ]

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+from .. import telemetry
 from ..inference.flow import infer_module_counts
 from ..ir.function import Function, Module
 from ..ir.instructions import Call, PseudoProbe
@@ -75,6 +76,7 @@ def annotate_probe_flat(module: Module, profile: FlatProfile) -> AnnotationStats
         try:
             annotate_function_probe(fn, samples)
         except ChecksumMismatch:
+            telemetry.count("annotate", "checksum_rejected_functions")
             stats.rejected_checksum.append(name)
             continue
         heads[name] = samples.head
@@ -195,6 +197,7 @@ def csspgo_sample_loader(module: Module, profile: ContextProfile,
             try:
                 annotate_function_probe(fn, base)
             except ChecksumMismatch:
+                telemetry.count("annotate", "checksum_rejected_functions")
                 stats.rejected_checksum.append(name)
                 continue
             heads[name] = base.head
@@ -229,6 +232,7 @@ def _replay_inline_decisions(module: Module, fn: Function,
                                and callee.probe_checksum is not None
                                and child.checksum != callee.probe_checksum)
             if not checksum_ok:
+                telemetry.count("annotate", "checksum_rejected_inline_sites")
                 stats.rejected_checksum.append(f"{callee_name}@inline")
             # The compiler's own limits gate the pre-inliner's wish.
             within_limits = (function_size(callee) <= config.inline_hot_threshold
@@ -242,10 +246,17 @@ def _replay_inline_decisions(module: Module, fn: Function,
                 # callee stays outlined, so its context subtree is merged
                 # back into the callee's standalone profile before that
                 # function is annotated (it comes later in top-down order).
+                telemetry.count("annotate", "preinline_decisions_dropped")
                 profile.promote_subtree(child_key)
                 continue
             block_label, call_index, call = site
             child_chain = call.probe_context()
+            telemetry.count("annotate", "preinline_decisions_replayed")
+            telemetry.remark(
+                "sample-loader", "Inlined", fn.name,
+                f"{callee_name} inlined into {fn.name} (pre-inliner "
+                f"ShouldBeInlined replay, context depth {len(child_key)})",
+                loc=call.dloc, callee=callee_name)
             inline_call(module, fn, block_label, call_index, count_scale=None)
             _annotate_cloned_blocks(fn, child_chain, child)
             stats.inlined_contexts.append(child_key)

@@ -6,7 +6,17 @@ Commands:
   workload and print the Fig. 6/7-style table;
 * ``quality`` — run the Table I profile-quality analysis;
 * ``profile`` — collect and dump a CSSPGO context profile (text format);
+* ``stats`` — run one PGO cycle with telemetry forced on and print the
+  statistics report (LLVM ``-stats`` / ``-time-passes`` style);
 * ``workloads`` — list the named workloads.
+
+Global telemetry flags (usable with any command):
+
+* ``--stats`` — print the statistics report to stdout after the command;
+* ``--trace-out PATH`` — write a Chrome trace-event JSON of the run
+  (load it in ``chrome://tracing`` / Perfetto, like ``-ftime-trace``);
+* ``--remarks-out PATH`` — write the optimization-remarks JSON
+  (``-fsave-optimization-record`` style).
 """
 
 from __future__ import annotations
@@ -16,8 +26,9 @@ import sys
 from typing import List, Optional
 
 from . import (PGODriverConfig, PGOVariant, build, compare_variants, run_pgo,
-               speedup_over)
+               speedup_over, telemetry)
 from .hw import PMUConfig, execute, make_pmu
+from .telemetry import render_stats_report, write_chrome_trace, write_remarks
 from .workloads import (SERVER_WORKLOADS, WorkloadSpec, build_server_workload,
                         build_workload)
 
@@ -36,6 +47,24 @@ def _config(args) -> PGODriverConfig:
                            profile_iterations=args.iterations)
 
 
+def _parse_variants(spec: str) -> Optional[List[PGOVariant]]:
+    """Parse a comma-separated variant list; raises ValueError on unknowns."""
+    known = {variant.value: variant for variant in PGOVariant}
+    variants = []
+    for name in spec.split(","):
+        name = name.strip()
+        if not name:
+            continue
+        if name not in known:
+            raise ValueError(
+                f"unknown variant {name!r} (choose from "
+                f"{', '.join(known)})")
+        variants.append(known[name])
+    if not variants:
+        raise ValueError("empty variant list")
+    return variants
+
+
 def cmd_workloads(_args) -> int:
     print("named server workloads:")
     for name, spec in SERVER_WORKLOADS.items():
@@ -46,16 +75,23 @@ def cmd_workloads(_args) -> int:
 
 
 def cmd_compare(args) -> int:
+    variants = None
+    if args.variants:
+        try:
+            variants = _parse_variants(args.variants)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     module, requests = _resolve_workload(args.workload, args.seed)
     results = compare_variants(module, [requests], [requests],
-                               config=_config(args))
-    autofdo = results[PGOVariant.AUTOFDO]
+                               variants=variants, config=_config(args))
+    baseline = results.get(PGOVariant.AUTOFDO)
     print(f"workload {args.workload}: cycles (lower is better)\n")
     for variant, result in results.items():
         line = (f"  {variant.value:12s} {result.eval.cycles:14,.0f}"
                 f"  text={result.final.sizes.text:6d}")
-        if variant is not PGOVariant.AUTOFDO:
-            line += f"  vs AutoFDO {speedup_over(autofdo, result)*100:+.2f}%"
+        if baseline is not None and variant is not PGOVariant.AUTOFDO:
+            line += f"  vs AutoFDO {speedup_over(baseline, result)*100:+.2f}%"
         print(line)
     return 0
 
@@ -91,6 +127,19 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_stats(args) -> int:
+    """Run one full PGO cycle purely for its telemetry."""
+    try:
+        variant = PGOVariant(args.variant)
+    except ValueError:
+        print(f"error: unknown variant {args.variant!r} (choose from "
+              f"{', '.join(v.value for v in PGOVariant)})", file=sys.stderr)
+        return 2
+    module, requests = _resolve_workload(args.workload, args.seed)
+    run_pgo(module, variant, [requests], [requests], _config(args))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -101,12 +150,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="continuous-profiling iterations")
     parser.add_argument("--seed", type=int, default=0,
                         help="generator seed for ad-hoc workloads")
+    parser.add_argument("--stats", action="store_true",
+                        help="print pass/stage timing and counters afterwards")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write a Chrome trace-event JSON of the run")
+    parser.add_argument("--remarks-out", default=None, metavar="PATH",
+                        help="write optimization remarks JSON")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("workloads", help="list named workloads")
     p.set_defaults(func=cmd_workloads)
     p = sub.add_parser("compare", help="compare PGO variants on a workload")
     p.add_argument("workload")
+    p.add_argument("--variants", default=None, metavar="V1,V2",
+                   help="comma-separated subset of variants to run "
+                        f"({', '.join(v.value for v in PGOVariant)})")
     p.set_defaults(func=cmd_compare)
     p = sub.add_parser("quality", help="Table I profile-quality analysis")
     p.add_argument("workload")
@@ -115,9 +173,42 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("workload")
     p.add_argument("-o", "--output", default=None)
     p.set_defaults(func=cmd_profile)
+    p = sub.add_parser(
+        "stats", help="run one PGO cycle and print its telemetry report")
+    p.add_argument("workload")
+    p.add_argument("--variant", default=PGOVariant.CSSPGO_FULL.value,
+                   help="variant to run (default: csspgo)")
+    p.set_defaults(func=cmd_stats, force_stats=True)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    want_stats = args.stats or getattr(args, "force_stats", False)
+    collect = want_stats or args.trace_out or args.remarks_out
+    if not collect:
+        return args.func(args)
+
+    session = telemetry.enable()
+    try:
+        with telemetry.span(f"repro {args.command}", "cli",
+                            command=args.command):
+            rc = args.func(args)
+    finally:
+        telemetry.disable()
+    try:
+        if args.trace_out:
+            write_chrome_trace(session, args.trace_out)
+            print(f"wrote Chrome trace to {args.trace_out}", file=sys.stderr)
+        if args.remarks_out:
+            write_remarks(session, args.remarks_out)
+            print(f"wrote {len(session.remarks)} remarks to "
+                  f"{args.remarks_out}", file=sys.stderr)
+    except OSError as exc:
+        # The run itself succeeded; still print the stats before failing so
+        # the work is not lost.
+        print(f"error: cannot write telemetry output: {exc}", file=sys.stderr)
+        rc = 1
+    if want_stats:
+        print(render_stats_report(session))
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

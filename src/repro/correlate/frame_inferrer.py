@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+from .. import telemetry
 from ..codegen.binary import Binary
 
 
@@ -63,11 +64,13 @@ class FrameInferrer:
         when no path or multiple paths exist (inference failure).
         """
         self.attempted += 1
+        telemetry.count("correlate", "frame_inference_attempts")
         key = (expected_func, actual_func)
         if key in self._cache:
             result = self._cache[key]
             if result is not None:
                 self.recovered += 1
+                telemetry.count("correlate", "frame_inference_recoveries")
             return result
         paths: List[List[Tuple[str, int]]] = []
         self._dfs(expected_func, actual_func, [], set(), paths)
@@ -75,6 +78,9 @@ class FrameInferrer:
         self._cache[key] = result
         if result is not None:
             self.recovered += 1
+            telemetry.count("correlate", "frame_inference_recoveries")
+        elif len(paths) > 1:
+            telemetry.count("correlate", "frame_inference_ambiguous")
         return result
 
     def _dfs(self, current: str, goal: str, path: List[Tuple[str, int]],

@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict, List, Optional, Tuple
 
+from .. import telemetry
 from ..codegen.binary import Binary
 from ..codegen.probe_metadata import ProbeMetadata
 from ..hw.perf_data import PerfData
@@ -57,6 +58,13 @@ def aggregate_samples(binary: Binary, data: PerfData,
             agg.ranges[(r.begin, r.end, r.context)] += 1
         for c in result.calls:
             agg.calls[(c.call_addr, c.target_addr, c.context)] += 1
+    if telemetry.enabled():
+        telemetry.count("correlate", "samples_unwound", agg.total_samples)
+        telemetry.count("correlate", "samples_broken", agg.broken_samples)
+        telemetry.count("correlate", "lbr_ranges_attributed",
+                        sum(agg.ranges.values()))
+        telemetry.count("correlate", "call_transfers_attributed",
+                        sum(agg.calls.values()))
     return agg, inferrer
 
 
@@ -118,6 +126,9 @@ def _probe_counts(binary: Binary, agg: RawAggregation) -> Tuple[Counter, set]:
                     continue
                 counts[(ctx, record.guid, record.probe_id,
                         record.inline_stack)] += count
+    if telemetry.enabled():
+        telemetry.count("correlate", "probe_sites_counted", len(counts))
+        telemetry.count("correlate", "dangling_probe_sites", len(dangling))
     return counts, dangling
 
 
@@ -190,10 +201,12 @@ def generate_context_profile(binary: Binary, data: PerfData,
         frames: List[Tuple[str, Optional[int]]] = []
         if ctx is None:
             # Unknown physical context: attribute to the base context.
+            telemetry.count("correlate", "unknown_context_fallbacks")
             return base_context(leaf_name)
         for call_addr in ctx:
             chain = binary.instr_at(call_addr).call_ctx
             if not chain:
+                telemetry.count("correlate", "unsymbolized_callsite_fallbacks")
                 return base_context(leaf_name)
             frames.extend(_names(binary, chain))
         frames.extend(_names(binary, inline_chain))

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from .. import telemetry
 from ..codegen.binary import Binary
 from ..hw.perf_data import PerfSample
 from .frame_inferrer import FrameInferrer
@@ -88,6 +89,7 @@ class Unwinder:
         for ret_addr in reversed(stack[1:]):  # root first
             call_instr = self._call_before(ret_addr)
             if call_instr is None:
+                telemetry.count("correlate", "stack_conversion_failures")
                 self._stack_cache[stack] = None
                 return None
             callsites.append(call_instr.addr)
@@ -96,6 +98,7 @@ class Unwinder:
         if self.inferrer is not None:
             callsites = self._repair(callsites, leaf_ip=stack[0])
             if callsites is None:
+                telemetry.count("correlate", "stack_conversion_failures")
                 self._stack_cache[stack] = None
                 return None
         context = tuple(callsites)
@@ -160,6 +163,7 @@ class Unwinder:
         prev_branch: Optional[Tuple[int, int]] = None
         for source, target in reversed(sample.lbr):
             if not binary.has_addr(source) or not binary.has_addr(target):
+                telemetry.count("correlate", "lbr_entries_outside_binary")
                 result.broken = True
                 context_list = None
                 prev_branch = (source, target)
@@ -172,6 +176,9 @@ class Unwinder:
                         and binary.function_at(begin) == binary.function_at(end)):
                     ctx = tuple(context_list) if context_list is not None else None
                     result.ranges.append(RangeSample(begin, end, ctx))
+                else:
+                    # Cross-function or inverted range: not a linear run.
+                    telemetry.count("correlate", "lbr_ranges_discarded")
             # 2. Walk back over this branch.
             if kind in ("call", "tailcall"):
                 if context_list is not None:
@@ -180,6 +187,7 @@ class Unwinder:
                     else:
                         # Skid or truncated stack: context is unusable from
                         # here back in time.
+                        telemetry.count("correlate", "skid_context_aborts")
                         result.broken = True
                         context_list = None
                 # The call sample carries the *caller's* context.
@@ -189,6 +197,7 @@ class Unwinder:
                 if context_list is not None:
                     call_instr = self._call_before(target)
                     if call_instr is None:
+                        telemetry.count("correlate", "ret_without_callsite")
                         result.broken = True
                         context_list = None
                     else:

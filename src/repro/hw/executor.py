@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict, List, Optional, Sequence
 
+from .. import telemetry
 from ..ir.semantics import eval_binop, eval_cmp, wrap_index
 from ..codegen.binary import Binary
 from ..codegen.mir import MInstr
@@ -192,6 +193,14 @@ class MachineExecutor:
                 if not frames:
                     result.return_value = value
                     result.instructions_retired = retired
+                    # Aggregate counters only at run end — the hot loop stays
+                    # untouched whether telemetry is on or off.
+                    if telemetry.enabled():
+                        telemetry.count("hw.exec", "runs")
+                        telemetry.count("hw.exec", "instructions_retired",
+                                        retired)
+                        telemetry.count("hw.exec", "taken_branches",
+                                        result.taken_branches)
                     return result
                 frame = frames[-1]
                 if ret_dst is not None:

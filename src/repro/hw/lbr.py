@@ -18,8 +18,16 @@ class LBRStack:
     def __init__(self, depth: int = 16):
         self.depth = depth
         self._ring: Deque[Tuple[int, int]] = deque(maxlen=depth)
+        #: Branches recorded over the session (telemetry; cheap local int).
+        self.recorded = 0
+        #: Entries evicted because the ring was full — how much history each
+        #: sample is missing beyond the window.
+        self.wraps = 0
 
     def record(self, source: int, target: int) -> None:
+        self.recorded += 1
+        if len(self._ring) == self.depth:
+            self.wraps += 1
         self._ring.append((source, target))
 
     def snapshot(self) -> List[Tuple[int, int]]:

@@ -15,6 +15,7 @@ from __future__ import annotations
 import random
 from typing import Callable, List, Optional, Tuple
 
+from .. import telemetry
 from .lbr import LBRStack
 from .perf_data import PerfData, PerfSample
 
@@ -51,6 +52,8 @@ class PMU:
         #: Stack snapshot from before the most recent control transfer —
         #: what a skidding (non-PEBS) sample would deliver.
         self._lagged_stack: List[int] = []
+        #: Samples delivered with the lagged (skid-prone) snapshot.
+        self._skid_samples = 0
 
     def _next_period(self) -> int:
         jitter = self._rng.randint(0, max(1, self.config.period // 8))
@@ -68,10 +71,18 @@ class PMU:
         self._until_sample = self._next_period()
         if self.config.pebs:
             stack = self._stack_walker()
+        elif self._lagged_stack:
+            stack = self._lagged_stack
+            self._skid_samples += 1
         else:
-            stack = self._lagged_stack or self._stack_walker()
+            stack = self._stack_walker()
         self.data.add(PerfSample(self.lbr.snapshot(), stack, ip))
 
     def finish(self, instructions_retired: int) -> PerfData:
         self.data.instructions_retired = instructions_retired
+        if telemetry.enabled():
+            telemetry.count("hw.pmu", "samples_taken", len(self.data.samples))
+            telemetry.count("hw.pmu", "branches_recorded", self.lbr.recorded)
+            telemetry.count("hw.pmu", "lbr_ring_wraps", self.lbr.wraps)
+            telemetry.count("hw.pmu", "skid_stack_samples", self._skid_samples)
         return self.data

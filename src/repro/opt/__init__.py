@@ -14,7 +14,7 @@ from .licm import licm, licm_function
 from .liveness import LivenessInfo, compute_liveness, registers_of
 from .loop_unroll import loop_unroll, unroll_function
 from .pass_manager import OptConfig, PassManager
-from .pipeline import optimize_module
+from .pipeline import build_pass_manager, optimize_module
 from .simplify_cfg import (fold_forwarding_blocks, merge_straightline_blocks,
                            remove_unreachable_blocks, simplify_cfg,
                            simplify_cfg_function)
@@ -23,6 +23,7 @@ from .tail_merge import tail_merge, tail_merge_function
 __all__ = [
     "CALLEE_SIZE_LIMIT", "CALLER_SIZE_LIMIT", "InlineResult", "LivenessInfo",
     "OptConfig", "PassManager", "block_layout", "bottom_up_order",
+    "build_pass_manager",
     "call_graph", "compute_liveness", "constprop", "constprop_function",
     "dce", "dce_function",
     "dead_function_elimination", "edge_weights",

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections import Counter
 
+from .. import telemetry
 from ..ir.function import Function, Module
 from .pass_manager import OptConfig
 
@@ -39,4 +40,6 @@ def dce_function(fn: Function) -> int:
 
 def dce(module: Module, config: OptConfig = None) -> None:
     for fn in module.functions.values():
-        dce_function(fn)
+        removed = dce_function(fn)
+        if removed:
+            telemetry.count("pass.dce", "instructions_removed", removed)

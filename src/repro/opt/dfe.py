@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Set
 
+from .. import telemetry
 from ..ir.function import Module
 from .pass_manager import OptConfig
 
@@ -38,4 +39,6 @@ def dead_function_elimination(module: Module, config: OptConfig = None) -> int:
         if name not in keep:
             del module.functions[name]
             removed += 1
+    if removed:
+        telemetry.count("pass.dfe", "functions_removed", removed)
     return removed

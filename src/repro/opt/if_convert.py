@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from .. import telemetry
 from ..ir.cfg import predecessors_map
 from ..ir.function import BasicBlock, Function, Module
 from ..ir.instructions import (Assign, BinOp, Br, Cmp, CondBr, Instr,
@@ -101,6 +102,15 @@ def if_convert_function(fn: Function, config: OptConfig) -> int:
             bias = _biased(head, t_side if t_side is not None else f_side)
             if bias is True:
                 continue
+            telemetry.count("pass.if-convert", "branches_converted")
+            if t_probes or f_probes:
+                telemetry.count("pass.if-convert", "probes_made_dangling",
+                                len(t_probes) + len(f_probes))
+            telemetry.remark(
+                "if-convert", "IfConverted", fn.name,
+                f"folded branch in {head.label} of {fn.name} into selects "
+                f"({len(t_probes) + len(f_probes)} probes now dangling)",
+                loc=term.dloc, head=head.label)
             _convert(fn, head, term, t_real, f_real, t_probes + f_probes, join_label)
             for side in (t_side, f_side):
                 if side is not None and len(preds[side.label]) == 1:

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 
+from .. import telemetry
 from ..ir.debug_info import DebugLoc, InlineSite
 from ..ir.function import BasicBlock, Function, Module
 from ..ir.instructions import (Assign, Br, Call, Instr, PseudoProbe, Ret)
@@ -258,6 +259,14 @@ def run_bottom_up_inliner(module: Module, config: OptConfig,
                         scale = None
                     if not decide:
                         continue
+                    telemetry.count("pass.inline", "callsites_inlined")
+                    telemetry.remark(
+                        "inline", "Inlined", caller.name,
+                        f"{instr.callee} inlined into {caller.name} "
+                        f"(callee size {size}, "
+                        f"{'profile-guided' if use_profile else 'static'})",
+                        loc=instr.dloc, callee=instr.callee, callee_size=size,
+                        callsite_count=(block.count or 0.0) if use_profile else None)
                     inline_call(module, caller, block.label, idx, count_scale=scale)
                     inlined_total += 1
                     changed = True

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from .. import telemetry
 from ..ir.cfg import predecessors_map
 from ..ir.function import Function, Module
 from .pass_manager import OptConfig
@@ -166,7 +167,19 @@ def split_hot_cold_function(fn: Function, config: OptConfig,
 def block_layout(module: Module, config: OptConfig) -> None:
     if not config.enable_layout:
         return
+    observing = telemetry.enabled()
     for fn in module.functions.values():
+        before = [b.label for b in fn.blocks] if observing else None
         ext_tsp_layout_function(fn)
+        if observing and [b.label for b in fn.blocks] != before:
+            telemetry.count("pass.layout", "functions_reordered")
+            telemetry.remark("layout", "BlockLayout", fn.name,
+                             f"Ext-TSP reordered blocks of {fn.name}")
         if config.enable_hot_cold_split:
-            split_hot_cold_function(fn, config, module.profile_summary)
+            cold = split_hot_cold_function(fn, config, module.profile_summary)
+            if cold:
+                telemetry.count("pass.layout", "blocks_split_cold", cold)
+                telemetry.remark(
+                    "layout", "HotColdSplit", fn.name,
+                    f"sank {cold} cold blocks of {fn.name} to the far "
+                    f"section", cold_blocks=cold)

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+from .. import telemetry
 from ..ir.cfg import Loop, dominators, loop_exits, natural_loops, predecessors_map
 from ..ir.function import BasicBlock, Function, Module
 from ..ir.instructions import (Assign, BinOp, Br, Call, Cmp, Instr, Load,
@@ -152,4 +153,6 @@ def licm(module: Module, config: OptConfig = None) -> None:
     if config is not None and not config.enable_licm:
         return
     for fn in module.functions.values():
-        licm_function(fn)
+        hoisted = licm_function(fn)
+        if hoisted:
+            telemetry.count("pass.licm", "instructions_hoisted", hoisted)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from .. import telemetry
 from ..ir.function import BasicBlock, Function, Module
 from ..ir.instructions import Br, CondBr, InstrProfIncrement, PseudoProbe
 from .pass_manager import OptConfig
@@ -57,6 +58,13 @@ def unroll_function(fn: Function, config: OptConfig, summary=None) -> int:
             continue
         if summary is None or not summary.is_hot(block.count):
             continue
+        telemetry.count("pass.loop-unroll", "loops_unrolled")
+        telemetry.remark(
+            "loop-unroll", "Unrolled", fn.name,
+            f"unrolled hot self-loop {block.label} by factor "
+            f"{config.unroll_factor} (count {block.count:.0f})",
+            loc=block.instrs[-1].dloc, factor=config.unroll_factor,
+            block=block.label)
         _unroll_self_loop(fn, block, exit_label, config.unroll_factor)
         unrolled += 1
     return unrolled

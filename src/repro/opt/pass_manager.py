@@ -10,8 +10,9 @@ for fair comparison" methodology (sec. IV.A).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
+from .. import telemetry
 from ..ir.function import Module
 
 
@@ -82,8 +83,34 @@ class OptConfig:
         self.if_convert_max_instrs = if_convert_max_instrs
 
 
+def _module_shape(module: Module) -> Tuple[int, int, int, int]:
+    """(functions, blocks, instructions, probes) — the IR-delta observables
+    the per-pass telemetry records (computed only while telemetry is on)."""
+    from ..ir.instructions import PseudoProbe
+    functions = len(module.functions)
+    blocks = 0
+    instrs = 0
+    probes = 0
+    for fn in module.functions.values():
+        for block in fn.blocks:
+            blocks += 1
+            instrs += len(block.instrs)
+            for instr in block.instrs:
+                if isinstance(instr, PseudoProbe):
+                    probes += 1
+    return functions, blocks, instrs, probes
+
+
 class PassManager:
-    """Runs a sequence of module passes, optionally verifying between them."""
+    """Runs a sequence of module passes, optionally verifying between them.
+
+    This is also the pipeline's ``PassInstrumentation`` point: while
+    telemetry is enabled, every pass gets a wall-clock span (category
+    ``"pass"``) annotated with the IR deltas it caused — functions, blocks,
+    instructions, and probes added or removed — independent of
+    ``verify_each``.  Failures in a pass or in the verifier always name the
+    offending pass.
+    """
 
     def __init__(self, verify_each: bool = False):
         self.passes: List[Callable[[Module], None]] = []
@@ -97,8 +124,28 @@ class PassManager:
 
     def run(self, module: Module) -> None:
         from ..ir.verifier import verify_module
+        session = telemetry.current()
         for pass_fn, name in zip(self.passes, self.pass_names):
-            pass_fn(module)
+            if session is None:
+                try:
+                    pass_fn(module)
+                except Exception as exc:
+                    raise RuntimeError(f"pass {name} failed: {exc}") from exc
+            else:
+                before = _module_shape(module)
+                with session.span(name, "pass") as span:
+                    try:
+                        pass_fn(module)
+                    except Exception as exc:
+                        raise RuntimeError(f"pass {name} failed: {exc}") from exc
+                after = _module_shape(module)
+                span.set(functions=after[0], blocks=after[1],
+                         instrs=after[2], probes=after[3],
+                         functions_delta=after[0] - before[0],
+                         blocks_delta=after[1] - before[1],
+                         instrs_delta=after[2] - before[2],
+                         probes_delta=after[3] - before[3])
+                session.count("pass." + name, "runs")
             if self.verify_each:
                 try:
                     verify_module(module)

@@ -4,6 +4,10 @@ One pipeline serves every PGO variant (the paper aligns pipelines for fair
 comparison, sec. IV.A); variants differ only in the :class:`OptConfig` knobs
 that encode what their correlation anchors permit, and in whether block counts
 were annotated before the pipeline runs.
+
+The pipeline is expressed as a :class:`PassManager` schedule so every pass
+runs under the pass-instrumentation hooks (per-pass wall time + IR deltas in
+telemetry, failures attributed to the offending pass by name).
 """
 
 from __future__ import annotations
@@ -17,9 +21,40 @@ from .inliner import run_bottom_up_inliner
 from .layout import block_layout
 from .licm import licm
 from .loop_unroll import loop_unroll
-from .pass_manager import OptConfig
+from .pass_manager import OptConfig, PassManager
 from .simplify_cfg import simplify_cfg
 from .tail_merge import tail_merge
+
+
+def build_pass_manager(config: OptConfig, profile_annotated: bool = False,
+                       verify_each: bool = False) -> PassManager:
+    """Schedule the full mid-end + layout pipeline in its fixed order."""
+    pm = PassManager(verify_each=verify_each)
+    if config.enable_simplify:
+        pm.add(lambda m: simplify_cfg(m, config), "simplify-cfg")
+    if config.enable_inline:
+        use_profile = profile_annotated and config.profile_inlining
+        pm.add(lambda m: run_bottom_up_inliner(m, config,
+                                               use_profile=use_profile),
+               "inline")
+    if config.enable_licm:
+        pm.add(lambda m: licm(m, config), "licm")
+    if config.enable_if_convert:
+        pm.add(lambda m: if_convert(m, config), "if-convert")
+    if config.enable_constprop:
+        pm.add(lambda m: constprop(m, config), "constprop")
+    if config.enable_unroll and profile_annotated:
+        pm.add(lambda m: loop_unroll(m, config), "loop-unroll")
+    if config.enable_tail_merge:
+        pm.add(lambda m: tail_merge(m, config), "tail-merge")
+    if config.enable_dce:
+        pm.add(lambda m: dce(m, config), "dce")
+        pm.add(lambda m: dead_function_elimination(m, config), "dfe")
+    if config.enable_simplify:
+        pm.add(lambda m: simplify_cfg(m, config), "simplify-cfg")
+    if config.enable_layout:
+        pm.add(lambda m: block_layout(m, config), "layout")
+    return pm
 
 
 def optimize_module(module: Module, config: OptConfig,
@@ -30,26 +65,4 @@ def optimize_module(module: Module, config: OptConfig,
     sample loader or instrumentation profile reader) before optimization; it
     switches the inliner and unroller to their profile-guided heuristics.
     """
-    if config.enable_simplify:
-        simplify_cfg(module, config)
-    if config.enable_inline:
-        run_bottom_up_inliner(module, config,
-                              use_profile=(profile_annotated
-                                           and config.profile_inlining))
-    if config.enable_licm:
-        licm(module, config)
-    if config.enable_if_convert:
-        if_convert(module, config)
-    if config.enable_constprop:
-        constprop(module, config)
-    if config.enable_unroll and profile_annotated:
-        loop_unroll(module, config)
-    if config.enable_tail_merge:
-        tail_merge(module, config)
-    if config.enable_dce:
-        dce(module, config)
-        dead_function_elimination(module, config)
-    if config.enable_simplify:
-        simplify_cfg(module, config)
-    if config.enable_layout:
-        block_layout(module, config)
+    build_pass_manager(config, profile_annotated).run(module)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Dict
 
+from .. import telemetry
 from ..ir.cfg import predecessors_map, reachable_blocks
 from ..ir.function import Function, Module
 from ..ir.instructions import Br, CondBr, Instr, PseudoProbe
@@ -110,12 +111,23 @@ def merge_straightline_blocks(fn: Function) -> int:
 
 
 def simplify_cfg_function(fn: Function) -> int:
-    total = 0
-    total += remove_unreachable_blocks(fn)
-    total += canonicalize_condbr(fn)
-    total += fold_forwarding_blocks(fn)
-    total += merge_straightline_blocks(fn)
-    return total
+    removed = remove_unreachable_blocks(fn)
+    canonicalized = canonicalize_condbr(fn)
+    folded = fold_forwarding_blocks(fn)
+    merged = merge_straightline_blocks(fn)
+    if removed:
+        telemetry.count("pass.simplify-cfg", "unreachable_blocks_removed",
+                        removed)
+    if canonicalized:
+        telemetry.count("pass.simplify-cfg", "condbr_canonicalized",
+                        canonicalized)
+    if folded:
+        telemetry.count("pass.simplify-cfg", "forwarding_blocks_folded",
+                        folded)
+    if merged:
+        telemetry.count("pass.simplify-cfg", "straightline_blocks_merged",
+                        merged)
+    return removed + canonicalized + folded + merged
 
 
 def simplify_cfg(module: Module, config: OptConfig = None) -> None:

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from .. import telemetry
 from ..ir.function import Function, Module
 from ..ir.instructions import (Assign, BinOp, Br, Call, Cmp, CondBr, Instr,
                                InstrProfIncrement, Load, PseudoProbe, Ret,
@@ -95,4 +96,11 @@ def _retarget_all(fn: Function, old: str, new: str) -> None:
 
 def tail_merge(module: Module, config: OptConfig = None) -> None:
     for fn in module.functions.values():
-        tail_merge_function(fn)
+        merged = tail_merge_function(fn)
+        if merged:
+            telemetry.count("pass.tail-merge", "blocks_merged", merged)
+            telemetry.remark(
+                "tail-merge", "BlocksMerged", fn.name,
+                f"merged {merged} identical blocks in {fn.name} "
+                f"(code-merge hazard for DWARF correlation)",
+                blocks_merged=merged)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from .. import telemetry
 from ..codegen.lower import LowerConfig
 from ..correlate.profgen import (generate_context_profile,
                                  generate_dwarf_profile,
@@ -63,8 +64,12 @@ class PGORunResult:
         self.profiling_build: Optional[BuildArtifacts] = None
         self.final: Optional[BuildArtifacts] = None
         self.eval: Optional[RunMeasurement] = None
-        #: Cycles of the profiling-phase run (overhead analysis).
+        #: Profiling-phase run of the *last* continuous-profiling iteration
+        #: (kept for backward compatibility; see :attr:`profiling_runs`).
         self.profiling_run: Optional[RunMeasurement] = None
+        #: One entry per continuous-profiling iteration, in order — overhead
+        #: analysis sees every iteration, not just the last.
+        self.profiling_runs: List[RunMeasurement] = []
         self.profile_stats: Dict[str, float] = {}
         self.raw_profile_stats: Dict[str, float] = {}
         self.extras: Dict[str, object] = {}
@@ -103,80 +108,128 @@ class PGODriverConfig:
 def run_pgo(source: Module, variant: PGOVariant,
             train_args: Sequence[int], eval_args: Sequence[int],
             config: Optional[PGODriverConfig] = None) -> PGORunResult:
-    """Run the complete PGO cycle for one variant."""
+    """Run the complete PGO cycle for one variant.
+
+    While telemetry is enabled, each cycle opens a ``variant:<name>`` span
+    with nested ``iteration:<i>`` spans and per-stage spans (profiling-build,
+    collect, profile-generation, trim, preinline, optimizing-build,
+    evaluate) — the Chrome trace of the whole cycle.
+    """
     config = config or PGODriverConfig()
     result = PGORunResult(variant)
 
+    with telemetry.span(f"variant:{variant.value}", "pgo",
+                        variant=variant.value):
+        return _run_pgo_cycle(source, variant, train_args, eval_args,
+                              config, result)
+
+
+def _run_pgo_cycle(source: Module, variant: PGOVariant,
+                   train_args: Sequence[int], eval_args: Sequence[int],
+                   config: PGODriverConfig,
+                   result: PGORunResult) -> PGORunResult:
     if variant is PGOVariant.NONE:
-        result.final = build(source, variant, opt_config=config.opt,
-                             lower_config=config.lower)
-        result.eval = measure_run(result.final, eval_args,
-                                  config.max_instructions)
+        with telemetry.span("optimizing-build", "stage"):
+            result.final = build(source, variant, opt_config=config.opt,
+                                 lower_config=config.lower)
+        with telemetry.span("evaluate", "stage"):
+            result.eval = measure_run(result.final, eval_args,
+                                      config.max_instructions)
         return result
 
     # ---- 1-3: profiling build, collection, profile generation ------------
     if variant is PGOVariant.INSTR:
-        profiling = build(source, variant, instrument=True,
+        with telemetry.span("iteration:0", "stage", iteration=0):
+            with telemetry.span("profiling-build", "stage"):
+                profiling = build(source, variant, instrument=True,
+                                  opt_config=config.opt,
+                                  lower_config=config.lower)
+            with telemetry.span("collect", "stage"):
+                cost = CostModel()
+                run = execute(profiling.binary, train_args, cost_model=cost,
+                              max_instructions=config.max_instructions)
+            result.profiling_run = RunMeasurement(cost.cycles,
+                                                  run.instructions_retired,
+                                                  cost.summary())
+            result.profiling_runs.append(result.profiling_run)
+            profile: Dict[Tuple[str, int], float] = dict(run.instr_counters)
+            result.profile = profile
+            result.profiling_build = profiling
+        with telemetry.span("optimizing-build", "stage"):
+            final = build(source, variant, profile=profile,
+                          imap_from_profiling=profiling.imap,
                           opt_config=config.opt, lower_config=config.lower)
-        cost = CostModel()
-        run = execute(profiling.binary, train_args, cost_model=cost,
-                      max_instructions=config.max_instructions)
-        result.profiling_run = RunMeasurement(cost.cycles,
-                                              run.instructions_retired,
-                                              cost.summary())
-        profile: Dict[Tuple[str, int], float] = dict(run.instr_counters)
-        result.profile = profile
-        result.profiling_build = profiling
-        final = build(source, variant, profile=profile,
-                      imap_from_profiling=profiling.imap,
-                      opt_config=config.opt, lower_config=config.lower)
     else:
         # Continuous deployment: iteration 0 profiles a plain release build,
         # each following iteration profiles the binary optimized with the
         # previous iteration's profile (the production steady state).
         profile = None
-        for _iteration in range(max(1, config.profile_iterations)):
-            profiling = build(source, variant, profile=profile,
-                              opt_config=config.opt,
-                              lower_config=config.lower)
-            result.profiling_build = profiling
-            pmu = make_pmu(config.pmu)
-            cost = CostModel()
-            run = execute(profiling.binary, train_args, pmu=pmu,
-                          cost_model=cost,
-                          max_instructions=config.max_instructions)
-            result.profiling_run = RunMeasurement(cost.cycles,
-                                                  run.instructions_retired,
-                                                  cost.summary())
-            data = pmu.finish(run.instructions_retired)
-            result.extras["samples"] = len(data)
+        samples_per_iteration: List[int] = []
+        inference_per_iteration: List[Tuple[int, int]] = []
+        for iteration in range(max(1, config.profile_iterations)):
+            with telemetry.span(f"iteration:{iteration}", "stage",
+                                iteration=iteration):
+                with telemetry.span("profiling-build", "stage"):
+                    profiling = build(source, variant, profile=profile,
+                                      opt_config=config.opt,
+                                      lower_config=config.lower)
+                result.profiling_build = profiling
+                with telemetry.span("collect", "stage"):
+                    pmu = make_pmu(config.pmu)
+                    cost = CostModel()
+                    run = execute(profiling.binary, train_args, pmu=pmu,
+                                  cost_model=cost,
+                                  max_instructions=config.max_instructions)
+                result.profiling_run = RunMeasurement(cost.cycles,
+                                                      run.instructions_retired,
+                                                      cost.summary())
+                result.profiling_runs.append(result.profiling_run)
+                data = pmu.finish(run.instructions_retired)
+                # Last-iteration scalar kept for backward compatibility; the
+                # per-iteration list is what overhead analysis should read.
+                result.extras["samples"] = len(data)
+                samples_per_iteration.append(len(data))
 
-            if variant in (PGOVariant.AUTOFDO, PGOVariant.FS_AUTOFDO):
-                profile = generate_dwarf_profile(profiling.binary, data)
-            elif variant is PGOVariant.CSSPGO_PROBE_ONLY:
-                profile = generate_probe_profile(profiling.binary, data,
-                                                 profiling.probe_meta)
-            else:  # CSSPGO_FULL
-                profile, inferrer = generate_context_profile(
-                    profiling.binary, data, profiling.probe_meta)
-                result.extras["frame_inference"] = (inferrer.attempted,
-                                                    inferrer.recovered)
-                result.raw_profile_stats = profile_stats(profile)
-                if config.trim_cold_contexts:
-                    kept, merged = trim_cold_contexts(
-                        profile, config.trim_hot_fraction)
-                    result.extras["trimmed_contexts"] = merged
-                sizes = extract_function_sizes(profiling.binary)
-                decisions = run_preinliner(profile, sizes, config.preinline)
-                result.extras["preinline_decisions"] = decisions
+                with telemetry.span("profile-generation", "stage"):
+                    if variant in (PGOVariant.AUTOFDO, PGOVariant.FS_AUTOFDO):
+                        profile = generate_dwarf_profile(profiling.binary, data)
+                    elif variant is PGOVariant.CSSPGO_PROBE_ONLY:
+                        profile = generate_probe_profile(
+                            profiling.binary, data, profiling.probe_meta)
+                    else:  # CSSPGO_FULL
+                        profile, inferrer = generate_context_profile(
+                            profiling.binary, data, profiling.probe_meta)
+                if variant is PGOVariant.CSSPGO_FULL:
+                    result.extras["frame_inference"] = (inferrer.attempted,
+                                                        inferrer.recovered)
+                    inference_per_iteration.append((inferrer.attempted,
+                                                    inferrer.recovered))
+                    result.raw_profile_stats = profile_stats(profile)
+                    if config.trim_cold_contexts:
+                        with telemetry.span("trim", "stage"):
+                            kept, merged = trim_cold_contexts(
+                                profile, config.trim_hot_fraction)
+                        result.extras["trimmed_contexts"] = merged
+                        telemetry.count("pgo", "contexts_trimmed", merged)
+                    with telemetry.span("preinline", "stage"):
+                        sizes = extract_function_sizes(profiling.binary)
+                        decisions = run_preinliner(profile, sizes,
+                                                   config.preinline)
+                    result.extras["preinline_decisions"] = decisions
+        result.extras["samples_per_iteration"] = samples_per_iteration
+        if inference_per_iteration:
+            result.extras["frame_inference_per_iteration"] = \
+                inference_per_iteration
         result.profile = profile
         result.profile_stats = profile_stats(profile)
-        final = build(source, variant, profile=profile,
-                      opt_config=config.opt, lower_config=config.lower)
+        with telemetry.span("optimizing-build", "stage"):
+            final = build(source, variant, profile=profile,
+                          opt_config=config.opt, lower_config=config.lower)
 
     # ---- 4-5: optimizing build and evaluation -----------------------------
     result.final = final
-    result.eval = measure_run(final, eval_args, config.max_instructions)
+    with telemetry.span("evaluate", "stage"):
+        result.eval = measure_run(final, eval_args, config.max_instructions)
     return result
 
 

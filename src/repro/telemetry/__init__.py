@@ -1,0 +1,24 @@
+"""Pipeline-wide telemetry: counters, span timers, remarks, exporters.
+
+See DESIGN.md sec. "Telemetry & diagnostics" for the module map and the
+counter -> LLVM-analogue fidelity table.  Import as::
+
+    from repro import telemetry
+    telemetry.count("correlate", "samples_broken")
+    with telemetry.span("profile-generation", "stage"):
+        ...
+
+Every entry point is a no-op while telemetry is disabled (the default).
+"""
+
+from .core import (Remark, SpanRecord, TelemetrySession, count, current,
+                   disable, enable, enabled, remark, span)
+from .report import (chrome_trace, remarks_to_json, render_stats_report,
+                     write_chrome_trace, write_remarks)
+
+__all__ = [
+    "Remark", "SpanRecord", "TelemetrySession",
+    "count", "current", "disable", "enable", "enabled", "remark", "span",
+    "chrome_trace", "remarks_to_json", "render_stats_report",
+    "write_chrome_trace", "write_remarks",
+]

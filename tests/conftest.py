@@ -49,6 +49,14 @@ def run_ir(module: Module, args, max_steps: int = 10_000_000):
     return IRInterpreter(module.clone(), max_steps=max_steps).run(args)
 
 
+@pytest.fixture(autouse=True)
+def _telemetry_disabled_after_test():
+    """Telemetry is process-global; never let a session leak between tests."""
+    yield
+    from repro import telemetry
+    telemetry.disable()
+
+
 @pytest.fixture
 def loop_module() -> Module:
     return build_loop_module()

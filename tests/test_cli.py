@@ -1,5 +1,7 @@
 """CLI smoke tests."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -31,3 +33,95 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCompareVariants:
+    def test_variant_subset(self, capsys):
+        assert main(["--iterations", "1", "--period", "31", "--seed", "4",
+                     "compare", "demo",
+                     "--variants", "autofdo,csspgo"]) == 0
+        out = capsys.readouterr().out
+        assert "autofdo" in out and "csspgo" in out
+        assert "instr" not in out
+        assert "vs AutoFDO" in out
+
+    def test_subset_without_autofdo_baseline(self, capsys):
+        # Regression: used to KeyError on results[PGOVariant.AUTOFDO].
+        assert main(["--iterations", "1", "--period", "31", "--seed", "4",
+                     "compare", "demo", "--variants", "none,csspgo"]) == 0
+        out = capsys.readouterr().out
+        assert "csspgo" in out
+        assert "vs AutoFDO" not in out
+
+    def test_unknown_variant_rejected(self, capsys):
+        assert main(["compare", "demo", "--variants", "csspgo,bogus"]) == 2
+        assert "unknown variant 'bogus'" in capsys.readouterr().err
+
+    def test_empty_variant_list_rejected(self, capsys):
+        assert main(["compare", "demo", "--variants", ","]) == 2
+        assert "empty variant list" in capsys.readouterr().err
+
+
+class TestTelemetryFlags:
+    def test_compare_with_full_telemetry(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        remarks_path = tmp_path / "remarks.json"
+        assert main(["--stats", "--trace-out", str(trace_path),
+                     "--remarks-out", str(remarks_path),
+                     "--iterations", "2", "--period", "31", "--seed", "4",
+                     "compare", "demo",
+                     "--variants", "autofdo,csspgo"]) == 0
+        out = capsys.readouterr().out
+
+        # (a) stats report with pass timing and correlation drop counters.
+        assert "Statistics Collected" in out
+        assert "-time-passes analogue" in out
+        assert "correlate" in out and "samples_unwound" in out
+
+        # (b) Chrome trace with nested stage spans per variant x iteration.
+        trace = json.loads(trace_path.read_text())
+        events = trace["traceEvents"]
+        assert len(events) > 1
+        names = [e["name"] for e in events if e.get("ph") == "X"]
+        for variant in ("autofdo", "csspgo"):
+            assert f"variant:{variant}" in names
+        assert names.count("iteration:0") == 2  # one per variant
+        assert names.count("iteration:1") == 2
+        assert names.count("collect") == 4      # per variant x iteration
+        for event in events:
+            if event.get("ph") == "X":
+                assert event["dur"] >= 0 and "ts" in event
+
+        # (c) remarks JSON with an inline decision carrying a DebugLoc.
+        remarks = json.loads(remarks_path.read_text())
+        inlined = [r for r in remarks
+                   if r["Name"] == "Inlined" and "DebugLoc" in r]
+        assert inlined
+        loc = inlined[0]["DebugLoc"]
+        assert set(loc) == {"Function", "Line", "Discriminator"}
+
+    def test_telemetry_disabled_after_run(self, tmp_path):
+        from repro import telemetry
+        main(["--trace-out", str(tmp_path / "t.json"),
+              "--iterations", "1", "--period", "31", "--seed", "4",
+              "compare", "demo", "--variants", "none"])
+        assert not telemetry.enabled()
+
+    def test_stats_subcommand(self, capsys):
+        assert main(["--iterations", "1", "--period", "31", "--seed", "4",
+                     "stats", "demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Statistics Collected" in out
+        assert "variant:csspgo" in out
+        assert "preinline_decisions_replayed" in out
+
+    def test_stats_unknown_variant(self, capsys):
+        assert main(["stats", "demo", "--variant", "nope"]) == 2
+        assert "unknown variant" in capsys.readouterr().err
+
+    def test_unwritable_trace_path_fails_cleanly(self, capsys):
+        assert main(["--stats", "--trace-out", "/nonexistent/dir/t.json",
+                     "workloads"]) == 1
+        captured = capsys.readouterr()
+        assert "cannot write telemetry output" in captured.err
+        assert "Statistics Collected" in captured.out  # work not lost

@@ -37,6 +37,31 @@ class TestIterations:
                                  profile_iterations=3)
         result = run_pgo(workload, PGOVariant.INSTR, [60], [60], config)
         assert result.eval.cycles > 0
+        assert len(result.profiling_runs) == 1  # one instrumented run
+
+    def test_every_profiling_iteration_is_recorded(self, workload):
+        """Per-iteration measurements and sample counts are all kept;
+        the old scalar fields stay as last-iteration aliases."""
+        config = PGODriverConfig(pmu=PMUConfig(period=31),
+                                 profile_iterations=3)
+        result = run_pgo(workload, PGOVariant.CSSPGO_FULL, [60], [60], config)
+        assert len(result.profiling_runs) == 3
+        assert result.profiling_run is result.profiling_runs[-1]
+        samples = result.extras["samples_per_iteration"]
+        assert len(samples) == 3 and all(n > 0 for n in samples)
+        assert result.extras["samples"] == samples[-1]
+        inference = result.extras["frame_inference_per_iteration"]
+        assert len(inference) == 3
+        assert result.extras["frame_inference"] == inference[-1]
+
+    def test_iteration_measurements_differ_across_builds(self, workload):
+        """Iteration 0 profiles the plain build, iteration 1 the optimized
+        one — their instruction counts should not be identical."""
+        config = PGODriverConfig(pmu=PMUConfig(period=31),
+                                 profile_iterations=2)
+        result = run_pgo(workload, PGOVariant.CSSPGO_FULL, [60], [60], config)
+        first, second = result.profiling_runs
+        assert first.instructions != second.instructions
 
 
 class TestMeasurement:

@@ -26,6 +26,29 @@ class TestPassManager:
         with pytest.raises(RuntimeError, match="breaker"):
             pm.run(call_module)
 
+    def test_raising_pass_is_named_without_verify_each(self, call_module):
+        """A crash inside a pass names the offending pass even when
+        per-pass verification is off."""
+        def exploder(module):
+            raise ValueError("boom")
+
+        pm = PassManager(verify_each=False)
+        pm.add(exploder, "exploder")
+        with pytest.raises(RuntimeError, match="pass exploder failed"):
+            pm.run(call_module)
+
+    def test_pass_names_surface_in_telemetry(self, call_module):
+        from repro import telemetry
+        session = telemetry.enable()
+        pm = PassManager(verify_each=False)
+        pm.add(lambda m: None, "nothing")
+        pm.run(call_module)
+        telemetry.disable()
+        assert [s.name for s in session.spans] == ["nothing"]
+        assert session.counter("pass.nothing", "runs") == 1
+        deltas = session.spans[0].args
+        assert deltas["functions_delta"] == 0 and deltas["instrs_delta"] == 0
+
 
 class TestOptConfig:
     def test_defaults_enable_everything(self):
