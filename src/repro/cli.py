@@ -43,8 +43,10 @@ def _resolve_workload(name: str, seed: Optional[int]):
 
 
 def _config(args) -> PGODriverConfig:
-    return PGODriverConfig(pmu=PMUConfig(period=args.period),
-                           profile_iterations=args.iterations)
+    return PGODriverConfig(
+        pmu=PMUConfig(period=args.period),
+        profile_iterations=args.iterations,
+        independent_profiling=getattr(args, "independent_profiling", False))
 
 
 def _parse_variants(spec: str) -> Optional[List[PGOVariant]]:
@@ -84,7 +86,8 @@ def cmd_compare(args) -> int:
             return 2
     module, requests = _resolve_workload(args.workload, args.seed)
     results = compare_variants(module, [requests], [requests],
-                               variants=variants, config=_config(args))
+                               variants=variants, config=_config(args),
+                               jobs=args.jobs)
     baseline = results.get(PGOVariant.AUTOFDO)
     print(f"workload {args.workload}: cycles (lower is better)\n")
     for variant, result in results.items():
@@ -148,6 +151,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="PMU sampling period (instructions)")
     parser.add_argument("--iterations", type=int, default=2,
                         help="continuous-profiling iterations")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for compare: variants run in "
+                             "parallel, results stay byte-identical to -j1")
     parser.add_argument("--seed", type=int, default=0,
                         help="generator seed for ad-hoc workloads")
     parser.add_argument("--stats", action="store_true",
@@ -165,6 +171,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--variants", default=None, metavar="V1,V2",
                    help="comma-separated subset of variants to run "
                         f"({', '.join(v.value for v in PGOVariant)})")
+    p.add_argument("--independent-profiling", action="store_true",
+                   help="profile one plain build --iterations times with "
+                        "per-iteration jitter seeds and merge the samples, "
+                        "instead of the sequential continuous-deployment "
+                        "chain")
     p.set_defaults(func=cmd_compare)
     p = sub.add_parser("quality", help="Table I profile-quality analysis")
     p.add_argument("workload")

@@ -65,6 +65,37 @@ class Binary:
         self.entry_function = "main"
         self.text_size = 0
         self.guid_to_name: Dict[int, str] = {}
+        #: Pre-decoded executor programs, keyed by observer variant (see
+        #: :mod:`repro.hw.decoded`).  Holding the cache here means repeated
+        #: runs of the same artifact — continuous-profiling iterations,
+        #: evaluation runs, benchmark sweeps — skip decoding entirely.
+        self._decoded_cache: Dict[object, object] = {}
+        #: Decode-cache effectiveness counters (mirrored into telemetry).
+        self.decode_stats: Dict[str, int] = {"decodes": 0, "cache_hits": 0}
+
+    # -- decoded-program cache ----------------------------------------------
+    def cached_decoded(self, key, builder):
+        """Return the decoded program for ``key``, building it on first use.
+
+        ``builder`` is ``binary -> program``; the result is cached for the
+        binary's lifetime.  Decoded programs hold closures, so the cache is
+        dropped on pickling (see ``__getstate__``) and rebuilt lazily in the
+        receiving process.
+        """
+        program = self._decoded_cache.get(key)
+        if program is not None:
+            self.decode_stats["cache_hits"] += 1
+            return program
+        program = builder(self)
+        self._decoded_cache[key] = program
+        self.decode_stats["decodes"] += 1
+        return program
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_decoded_cache"] = {}
+        state["decode_stats"] = {"decodes": 0, "cache_hits": 0}
+        return state
 
     # -- address queries ----------------------------------------------------
     def index_of(self, addr: int) -> int:

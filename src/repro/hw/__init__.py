@@ -1,13 +1,27 @@
-"""Hardware simulation: machine executor, LBR, PMU sampling."""
+"""Hardware simulation: machine executor, LBR, PMU sampling.
 
-from .executor import (Frame, MachineExecutionLimit, MachineExecutionResult,
-                       MachineExecutor, execute, make_pmu)
+Two interchangeable engines execute a linked binary:
+
+* :func:`run_decoded` — the pre-decoded threaded-code interpreter (default
+  production path; decoded programs are cached on the binary);
+* :class:`MachineExecutor` — the legacy dispatch loop, kept as the
+  differential-testing reference.
+
+:func:`execute` selects via its ``engine`` argument (``DEFAULT_ENGINE``
+otherwise).
+"""
+
+from .decoded import DecodedProgram, decode_program, run_decoded
+from .executor import (DEFAULT_ENGINE, Frame, MachineExecutionLimit,
+                       MachineExecutionResult, MachineExecutor, execute,
+                       make_pmu)
 from .lbr import LBRStack
 from .perf_data import PerfData, PerfSample
 from .pmu import PMU, PMUConfig
 
 __all__ = [
-    "Frame", "LBRStack", "MachineExecutionLimit", "MachineExecutionResult",
-    "MachineExecutor", "PMU", "PMUConfig", "PerfData", "PerfSample",
-    "execute", "make_pmu",
+    "DEFAULT_ENGINE", "DecodedProgram", "Frame", "LBRStack",
+    "MachineExecutionLimit", "MachineExecutionResult", "MachineExecutor",
+    "PMU", "PMUConfig", "PerfData", "PerfSample", "decode_program",
+    "execute", "make_pmu", "run_decoded",
 ]

@@ -180,17 +180,16 @@ class MachineExecutor:
                     value = 0
                 ret_index = frame.ret_index
                 ret_dst = frame.ret_dst
-                retired += 1
-                result.taken_branches += 1
                 if pmu is not None and ret_index is not None:
                     # Record pre-pop so a skidding stack still shows the
                     # callee frame (the lag PEBS eliminates).
                     pmu.on_branch(instr.addr, instrs[ret_index].addr)
                 frames.pop()
-                if cost is not None:
-                    cost.on_retire(instr, instrs[ret_index].addr
-                                   if ret_index is not None else None)
                 if not frames:
+                    retired += 1
+                    result.taken_branches += 1
+                    if cost is not None:
+                        cost.on_retire(instr, None)
                     result.return_value = value
                     result.instructions_retired = retired
                     # Aggregate counters only at run end — the hot loop stays
@@ -205,12 +204,16 @@ class MachineExecutor:
                 frame = frames[-1]
                 if ret_dst is not None:
                     frame.regs[ret_dst] = value
-                if pmu is not None:
-                    # Post-transfer state: IP at the resumption point.
-                    self._cur_ip = instrs[ret_index].addr
-                    pmu.on_retire(instr.addr)
-                idx = ret_index
-                continue
+                # Fall through to the shared epilogue so the instruction
+                # budget is enforced on rets exactly like every other kind
+                # (a ret-heavy — e.g. deeply recursive — program must still
+                # hit MachineExecutionLimit).  taken_target doubles as the
+                # resumption address for the cost model, and next_idx makes
+                # the epilogue's post-transfer IP the resumption point; the
+                # epilogue's on_branch only fires for br/jmp, so the return
+                # recorded above is not double-counted in the LBR.
+                taken_target = instrs[ret_index].addr
+                next_idx = ret_index
             elif kind == "count":
                 result.instr_counters[(instr.a, instr.b)] += 1
             elif kind == "nop":
@@ -245,13 +248,29 @@ class MachineExecutor:
                             for name, size in symbol.local_arrays.items()}
 
 
+#: Engine used by :func:`execute` when none is requested explicitly.
+#: ``"decoded"`` is the pre-decoded threaded-code interpreter (the default
+#: production path); ``"legacy"`` is the :class:`MachineExecutor` dispatch
+#: loop, kept as the differential-testing reference.
+DEFAULT_ENGINE = "decoded"
+
+
 def execute(binary: Binary, args: Sequence[int] = (),
             pmu: Optional[PMU] = None, cost_model=None,
-            max_instructions: int = 50_000_000) -> MachineExecutionResult:
+            max_instructions: int = 50_000_000,
+            engine: Optional[str] = None) -> MachineExecutionResult:
     """Convenience wrapper: run ``binary`` from its entry function."""
+    engine = engine or DEFAULT_ENGINE
+    if engine == "decoded":
+        from .decoded import run_decoded
+        return run_decoded(binary, args, pmu=pmu, cost_model=cost_model,
+                           max_instructions=max_instructions)
+    if engine != "legacy":
+        raise ValueError(f"unknown engine {engine!r} "
+                         "(choose 'decoded' or 'legacy')")
     executor = MachineExecutor(binary, max_instructions, pmu, cost_model)
     if pmu is not None and pmu._stack_walker is _PLACEHOLDER_WALKER:
-        pmu._stack_walker = executor.walk_stack
+        pmu.bind_executor(executor.walk_stack)
     return executor.run(args)
 
 

@@ -8,12 +8,24 @@ mode the stack snapshot delivered with a sample is the stack as it was
 *before* the most recent control transfer retired, so whenever the last LBR
 entry is a call or return the stack is off by one frame.  With ``pebs=True``
 the snapshot is taken at the sampled instruction exactly.
+
+Overhead discipline (the paper's always-on pitch, sec. IV): sampling work is
+proportional to *samples*, not to retired branches.
+
+* With ``pebs=True`` (the default) :meth:`PMU.on_branch` only records the LBR
+  entry — the lagged snapshot would never be consumed, so it is never taken.
+* With ``pebs=False`` the pre-transfer stack must still be observable at
+  sample time, but executors can register an O(1) ``lagged_capture`` hook
+  (e.g. a cons-list reference into an incrementally maintained return stack)
+  plus a ``lagged_materialize`` hook; the expensive materialization then runs
+  at most once per sampling window instead of once per taken branch.
+  Executors without such hooks fall back to the eager full walk.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
 
 from .. import telemetry
 from .lbr import LBRStack
@@ -42,26 +54,52 @@ class PMU:
     """
 
     def __init__(self, config: PMUConfig,
-                 stack_walker: Callable[[], List[int]]):
+                 stack_walker: Callable[[], List[int]],
+                 lagged_capture: Optional[Callable[[], object]] = None,
+                 lagged_materialize: Optional[
+                     Callable[[object], List[int]]] = None):
         self.config = config
         self.lbr = LBRStack(config.lbr_depth)
         self.data = PerfData(config.period, config.lbr_depth, config.pebs)
         self._stack_walker = stack_walker
+        self._lagged_capture = lagged_capture
+        self._lagged_materialize = lagged_materialize
         self._rng = random.Random(config.jitter_seed)
         self._until_sample = self._next_period()
-        #: Stack snapshot from before the most recent control transfer —
-        #: what a skidding (non-PEBS) sample would deliver.
-        self._lagged_stack: List[int] = []
+        #: Opaque pre-transfer stack token from the most recent control
+        #: transfer — what a skidding (non-PEBS) sample would deliver.  With
+        #: no capture hook this is the materialized list itself.
+        self._lagged_token: Optional[object] = None
         #: Samples delivered with the lagged (skid-prone) snapshot.
         self._skid_samples = 0
+        if config.pebs:
+            # PEBS snapshots are taken at the sampled instruction, so the
+            # lagged token is never consumed: specialize the per-branch hook
+            # to skip capture entirely (the hot-loop overhead fix).
+            self.on_branch = self._on_branch_pebs
 
     def _next_period(self) -> int:
         jitter = self._rng.randint(0, max(1, self.config.period // 8))
         return self.config.period + jitter
 
+    def bind_executor(self, stack_walker: Callable[[], List[int]],
+                      lagged_capture: Optional[Callable[[], object]] = None,
+                      lagged_materialize: Optional[
+                          Callable[[object], List[int]]] = None) -> None:
+        """Late-bind the executor's stack access hooks (see ``make_pmu``)."""
+        self._stack_walker = stack_walker
+        self._lagged_capture = lagged_capture
+        self._lagged_materialize = lagged_materialize
+
+    def _on_branch_pebs(self, source: int, target: int) -> None:
+        self.lbr.record(source, target)
+
     def on_branch(self, source: int, target: int) -> None:
-        # Capture the pre-transfer stack for skid modeling, then record.
-        self._lagged_stack = self._stack_walker()
+        # Capture the pre-transfer stack for skid modeling (O(1) when the
+        # executor registered a capture hook), then record.
+        capture = self._lagged_capture
+        self._lagged_token = (capture() if capture is not None
+                              else self._stack_walker())
         self.lbr.record(source, target)
 
     def on_retire(self, ip: int) -> None:
@@ -71,11 +109,15 @@ class PMU:
         self._until_sample = self._next_period()
         if self.config.pebs:
             stack = self._stack_walker()
-        elif self._lagged_stack:
-            stack = self._lagged_stack
-            self._skid_samples += 1
         else:
-            stack = self._stack_walker()
+            token = self._lagged_token
+            if token:
+                materialize = self._lagged_materialize
+                stack = (materialize(token) if materialize is not None
+                         else token)
+                self._skid_samples += 1
+            else:
+                stack = self._stack_walker()
         self.data.add(PerfSample(self.lbr.snapshot(), stack, ip))
 
     def finish(self, instructions_retired: int) -> PerfData:

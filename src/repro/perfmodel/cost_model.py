@@ -118,18 +118,25 @@ class CostModel:
 
     # Called for every retired instruction.
     def on_retire(self, instr: MInstr, taken_target: Optional[int]) -> None:
+        self.retire(BASE_COSTS[instr.kind], instr.addr, taken_target)
+
+    # Hot-path variant used by the pre-decoded executor: the per-kind base
+    # cost and the address are resolved at decode time, so retiring needs no
+    # MInstr attribute traffic.  Must stay arithmetically identical to the
+    # legacy path — differential tests compare cycle totals exactly.
+    def retire(self, cost: float, addr: int,
+               taken_target: Optional[int]) -> None:
         self.instructions += 1
-        cost = BASE_COSTS[instr.kind]
         self.base_cycles += cost
         self.cycles += cost
         if taken_target is not None:
             self.branch_cycles += TAKEN_BRANCH_PENALTY
             self.cycles += TAKEN_BRANCH_PENALTY
         # Instruction fetch: check the cache whenever the fetch line changes.
-        line = instr.addr >> self.icache.line_bits
+        line = addr >> self.icache.line_bits
         if line != self._last_line:
             self._last_line = line
-            if not self.icache.access(instr.addr):
+            if not self.icache.access(addr):
                 self.icache_cycles += ICACHE_MISS_PENALTY
                 self.cycles += ICACHE_MISS_PENALTY
         if taken_target is not None:

@@ -16,6 +16,7 @@ The full cycle for each variant (mirroring the paper's production workflow):
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .. import telemetry
@@ -24,6 +25,7 @@ from ..correlate.profgen import (generate_context_profile,
                                  generate_dwarf_profile,
                                  generate_probe_profile)
 from ..hw.executor import MachineExecutor, execute, make_pmu
+from ..hw.perf_data import PerfData
 from ..hw.pmu import PMU, PMUConfig
 from ..ir.function import Module
 from ..opt.pass_manager import OptConfig
@@ -90,6 +92,7 @@ class PGODriverConfig:
                  trim_hot_fraction: float = 0.002,
                  trim_cold_contexts: bool = True,
                  profile_iterations: int = 2,
+                 independent_profiling: bool = False,
                  max_instructions: int = 100_000_000):
         self.pmu = pmu or PMUConfig()
         self.opt = opt
@@ -102,18 +105,32 @@ class PGODriverConfig:
         #: on the previous *PGO-optimized* release, whose aggressive
         #: optimizations are exactly what damages DWARF correlation.
         self.profile_iterations = profile_iterations
+        #: Fleet-style collection: instead of the sequential continuous-
+        #: deployment chain (each iteration profiles the previous iteration's
+        #: optimized binary), profile one *plain* release build
+        #: ``profile_iterations`` times with per-iteration PMU jitter seeds
+        #: and aggregate all samples before a single profile generation.
+        #: Iterations are independent, so they parallelize across processes
+        #: (``jobs`` in :func:`run_pgo`) with byte-identical results.
+        self.independent_profiling = independent_profiling
         self.max_instructions = max_instructions
 
 
 def run_pgo(source: Module, variant: PGOVariant,
             train_args: Sequence[int], eval_args: Sequence[int],
-            config: Optional[PGODriverConfig] = None) -> PGORunResult:
+            config: Optional[PGODriverConfig] = None,
+            jobs: int = 1) -> PGORunResult:
     """Run the complete PGO cycle for one variant.
 
     While telemetry is enabled, each cycle opens a ``variant:<name>`` span
     with nested ``iteration:<i>`` spans and per-stage spans (profiling-build,
     collect, profile-generation, trim, preinline, optimizing-build,
     evaluate) — the Chrome trace of the whole cycle.
+
+    ``jobs`` only matters with ``config.independent_profiling``: independent
+    collections fan out over a process pool (each worker re-decodes its
+    pickled binary; sample streams are seeded per iteration, so the merged
+    profile is byte-identical to a serial run).
     """
     config = config or PGODriverConfig()
     result = PGORunResult(variant)
@@ -121,13 +138,95 @@ def run_pgo(source: Module, variant: PGOVariant,
     with telemetry.span(f"variant:{variant.value}", "pgo",
                         variant=variant.value):
         return _run_pgo_cycle(source, variant, train_args, eval_args,
-                              config, result)
+                              config, result, jobs)
+
+
+def _generate_profile(variant: PGOVariant, profiling: BuildArtifacts,
+                      data: PerfData, config: PGODriverConfig,
+                      result: PGORunResult):
+    """Steps 3+ of one collection: profgen, trim, pre-inline.
+
+    Returns ``(profile, inference)`` where ``inference`` is the full-CSSPGO
+    frame-inference ``(attempted, recovered)`` pair (``None`` otherwise).
+    """
+    with telemetry.span("profile-generation", "stage"):
+        if variant in (PGOVariant.AUTOFDO, PGOVariant.FS_AUTOFDO):
+            return generate_dwarf_profile(profiling.binary, data), None
+        if variant is PGOVariant.CSSPGO_PROBE_ONLY:
+            return generate_probe_profile(
+                profiling.binary, data, profiling.probe_meta), None
+        profile, inferrer = generate_context_profile(
+            profiling.binary, data, profiling.probe_meta)
+    inference = (inferrer.attempted, inferrer.recovered)
+    result.extras["frame_inference"] = inference
+    result.raw_profile_stats = profile_stats(profile)
+    if config.trim_cold_contexts:
+        with telemetry.span("trim", "stage"):
+            kept, merged = trim_cold_contexts(
+                profile, config.trim_hot_fraction)
+        result.extras["trimmed_contexts"] = merged
+        telemetry.count("pgo", "contexts_trimmed", merged)
+    with telemetry.span("preinline", "stage"):
+        sizes = extract_function_sizes(profiling.binary)
+        decisions = run_preinliner(profile, sizes, config.preinline)
+    result.extras["preinline_decisions"] = decisions
+    return profile, inference
+
+
+def _profile_collection(binary, train_args: Sequence[int],
+                        pmu_config: PMUConfig, max_instructions: int):
+    """One profiling run (picklable, so it can run in a pool worker)."""
+    pmu = make_pmu(pmu_config)
+    cost = CostModel()
+    run = execute(binary, train_args, pmu=pmu, cost_model=cost,
+                  max_instructions=max_instructions)
+    measurement = RunMeasurement(cost.cycles, run.instructions_retired,
+                                 cost.summary())
+    return pmu.finish(run.instructions_retired), measurement
+
+
+def _collect_star(task):
+    return _profile_collection(*task)
+
+
+def _collect_independent(profiling: BuildArtifacts,
+                         train_args: Sequence[int],
+                         config: PGODriverConfig,
+                         result: PGORunResult, jobs: int):
+    """Fleet-style collection: N independent runs of one plain build.
+
+    Each iteration gets its own jitter seed (``base + i``), so the per-run
+    sample streams — and therefore the aggregate, merged in iteration
+    order — do not depend on whether runs happened serially or in a pool.
+    """
+    iterations = max(1, config.profile_iterations)
+    base = config.pmu
+    tasks = [(profiling.binary, tuple(train_args),
+              PMUConfig(period=base.period, lbr_depth=base.lbr_depth,
+                        pebs=base.pebs,
+                        jitter_seed=base.jitter_seed + iteration),
+              config.max_instructions)
+             for iteration in range(iterations)]
+    if jobs > 1 and iterations > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, iterations)) as pool:
+            outcomes = list(pool.map(_collect_star, tasks))
+    else:
+        outcomes = [_profile_collection(*task) for task in tasks]
+    merged = PerfData(base.period, base.lbr_depth, base.pebs)
+    samples_per_iteration: List[int] = []
+    for data, measurement in outcomes:
+        merged.samples.extend(data.samples)
+        merged.instructions_retired += data.instructions_retired
+        result.profiling_runs.append(measurement)
+        samples_per_iteration.append(len(data))
+    result.profiling_run = result.profiling_runs[-1]
+    return merged, samples_per_iteration
 
 
 def _run_pgo_cycle(source: Module, variant: PGOVariant,
                    train_args: Sequence[int], eval_args: Sequence[int],
                    config: PGODriverConfig,
-                   result: PGORunResult) -> PGORunResult:
+                   result: PGORunResult, jobs: int = 1) -> PGORunResult:
     if variant is PGOVariant.NONE:
         with telemetry.span("optimizing-build", "stage"):
             result.final = build(source, variant, opt_config=config.opt,
@@ -159,6 +258,28 @@ def _run_pgo_cycle(source: Module, variant: PGOVariant,
             final = build(source, variant, profile=profile,
                           imap_from_profiling=profiling.imap,
                           opt_config=config.opt, lower_config=config.lower)
+    elif config.independent_profiling:
+        # Fleet-style collection: one plain release build, profiled N times
+        # independently (per-iteration jitter seeds), samples aggregated
+        # before a single profile generation.
+        with telemetry.span("profiling-build", "stage"):
+            profiling = build(source, variant, opt_config=config.opt,
+                              lower_config=config.lower)
+        result.profiling_build = profiling
+        with telemetry.span("collect", "stage", jobs=jobs):
+            data, samples_per_iteration = _collect_independent(
+                profiling, train_args, config, result, jobs)
+        result.extras["samples"] = len(data)
+        result.extras["samples_per_iteration"] = samples_per_iteration
+        profile, inference = _generate_profile(variant, profiling, data,
+                                               config, result)
+        if inference is not None:
+            result.extras["frame_inference_per_iteration"] = [inference]
+        result.profile = profile
+        result.profile_stats = profile_stats(profile)
+        with telemetry.span("optimizing-build", "stage"):
+            final = build(source, variant, profile=profile,
+                          opt_config=config.opt, lower_config=config.lower)
     else:
         # Continuous deployment: iteration 0 profiles a plain release build,
         # each following iteration profiles the binary optimized with the
@@ -175,47 +296,19 @@ def _run_pgo_cycle(source: Module, variant: PGOVariant,
                                       lower_config=config.lower)
                 result.profiling_build = profiling
                 with telemetry.span("collect", "stage"):
-                    pmu = make_pmu(config.pmu)
-                    cost = CostModel()
-                    run = execute(profiling.binary, train_args, pmu=pmu,
-                                  cost_model=cost,
-                                  max_instructions=config.max_instructions)
-                result.profiling_run = RunMeasurement(cost.cycles,
-                                                      run.instructions_retired,
-                                                      cost.summary())
-                result.profiling_runs.append(result.profiling_run)
-                data = pmu.finish(run.instructions_retired)
+                    data, measurement = _profile_collection(
+                        profiling.binary, train_args, config.pmu,
+                        config.max_instructions)
+                result.profiling_run = measurement
+                result.profiling_runs.append(measurement)
                 # Last-iteration scalar kept for backward compatibility; the
                 # per-iteration list is what overhead analysis should read.
                 result.extras["samples"] = len(data)
                 samples_per_iteration.append(len(data))
-
-                with telemetry.span("profile-generation", "stage"):
-                    if variant in (PGOVariant.AUTOFDO, PGOVariant.FS_AUTOFDO):
-                        profile = generate_dwarf_profile(profiling.binary, data)
-                    elif variant is PGOVariant.CSSPGO_PROBE_ONLY:
-                        profile = generate_probe_profile(
-                            profiling.binary, data, profiling.probe_meta)
-                    else:  # CSSPGO_FULL
-                        profile, inferrer = generate_context_profile(
-                            profiling.binary, data, profiling.probe_meta)
-                if variant is PGOVariant.CSSPGO_FULL:
-                    result.extras["frame_inference"] = (inferrer.attempted,
-                                                        inferrer.recovered)
-                    inference_per_iteration.append((inferrer.attempted,
-                                                    inferrer.recovered))
-                    result.raw_profile_stats = profile_stats(profile)
-                    if config.trim_cold_contexts:
-                        with telemetry.span("trim", "stage"):
-                            kept, merged = trim_cold_contexts(
-                                profile, config.trim_hot_fraction)
-                        result.extras["trimmed_contexts"] = merged
-                        telemetry.count("pgo", "contexts_trimmed", merged)
-                    with telemetry.span("preinline", "stage"):
-                        sizes = extract_function_sizes(profiling.binary)
-                        decisions = run_preinliner(profile, sizes,
-                                                   config.preinline)
-                    result.extras["preinline_decisions"] = decisions
+                profile, inference = _generate_profile(
+                    variant, profiling, data, config, result)
+                if inference is not None:
+                    inference_per_iteration.append(inference)
         result.extras["samples_per_iteration"] = samples_per_iteration
         if inference_per_iteration:
             result.extras["frame_inference_per_iteration"] = \
@@ -236,15 +329,32 @@ def _run_pgo_cycle(source: Module, variant: PGOVariant,
 def compare_variants(source: Module, train_args: Sequence[int],
                      eval_args: Sequence[int],
                      variants: Optional[List[PGOVariant]] = None,
-                     config: Optional[PGODriverConfig] = None
-                     ) -> Dict[PGOVariant, PGORunResult]:
-    """Run several variants on identical inputs; keyed results."""
+                     config: Optional[PGODriverConfig] = None,
+                     jobs: int = 1) -> Dict[PGOVariant, PGORunResult]:
+    """Run several variants on identical inputs; keyed results.
+
+    With ``jobs > 1`` the variants run in a :class:`ProcessPoolExecutor`.
+    Each variant's cycle is fully deterministic and shares no mutable state
+    with the others (every cycle builds from a fresh clone of ``source`` and
+    seeds its own PMU), so the result dict — still in ``variants`` order —
+    is byte-identical to a serial run.  Telemetry recorded inside worker
+    processes is not merged back into the parent session.
+    """
     if variants is None:
         variants = [PGOVariant.NONE, PGOVariant.AUTOFDO,
                     PGOVariant.CSSPGO_PROBE_ONLY, PGOVariant.CSSPGO_FULL,
                     PGOVariant.INSTR]
-    return {variant: run_pgo(source, variant, train_args, eval_args, config)
-            for variant in variants}
+    if jobs <= 1 or len(variants) <= 1:
+        return {variant: run_pgo(source, variant, train_args, eval_args,
+                                 config)
+                for variant in variants}
+    telemetry.count("pgo", "parallel_compare_jobs", min(jobs, len(variants)))
+    with ProcessPoolExecutor(max_workers=min(jobs, len(variants))) as pool:
+        futures = [pool.submit(run_pgo, source, variant, train_args,
+                               eval_args, config)
+                   for variant in variants]
+        return {variant: future.result()
+                for variant, future in zip(variants, futures)}
 
 
 def speedup_over(baseline: PGORunResult, other: PGORunResult) -> float:
