@@ -72,6 +72,21 @@ class Binary:
         self._decoded_cache: Dict[object, object] = {}
         #: Decode-cache effectiveness counters (mirrored into telemetry).
         self.decode_stats: Dict[str, int] = {"decodes": 0, "cache_hits": 0}
+        #: Range->probe-records prefix index (built lazily, see
+        #: :meth:`probe_records_in_range`).
+        self._probe_flat: Optional[List[ProbeRecord]] = None
+        self._probe_offsets: Optional[List[int]] = None
+        #: Memoized per-(begin, end) range lookups and per-addr symbolization.
+        self._probe_range_cache: Dict[Tuple[int, int], List[ProbeRecord]] = {}
+        self._instr_range_cache: Dict[Tuple[int, int], List[MInstr]] = {}
+        self._func_at_cache: Dict[int, Optional[str]] = {}
+        #: Index/cache effectiveness counters (read by bench_profgen and
+        #: mirrored into telemetry by profgen).
+        self.index_stats: Dict[str, int] = {
+            "probe_range_hits": 0, "probe_range_misses": 0,
+            "instr_range_hits": 0, "instr_range_misses": 0,
+            "function_at_hits": 0, "function_at_misses": 0,
+        }
 
     # -- decoded-program cache ----------------------------------------------
     def cached_decoded(self, key, builder):
@@ -95,6 +110,14 @@ class Binary:
         state = self.__dict__.copy()
         state["_decoded_cache"] = {}
         state["decode_stats"] = {"decodes": 0, "cache_hits": 0}
+        # Derived indexes/caches rebuild lazily in the receiving process;
+        # shipping them would only bloat the pickle.
+        state["_probe_flat"] = None
+        state["_probe_offsets"] = None
+        state["_probe_range_cache"] = {}
+        state["_instr_range_cache"] = {}
+        state["_func_at_cache"] = {}
+        state["index_stats"] = {key: 0 for key in self.index_stats}
         return state
 
     # -- address queries ----------------------------------------------------
@@ -115,13 +138,20 @@ class Binary:
         return self.instrs[idx].addr
 
     def function_at(self, addr: int) -> Optional[str]:
+        cache = self._func_at_cache
+        stats = self.index_stats
+        if addr in cache:
+            stats["function_at_hits"] += 1
+            return cache[addr]
+        stats["function_at_misses"] += 1
+        name: Optional[str] = None
         i = bisect.bisect_right(self._ranges, (addr, float("inf"), "")) - 1
-        if i < 0:
-            return None
-        start, end, name = self._ranges[i]
-        if start <= addr < end:
-            return name
-        return None
+        if i >= 0:
+            start, end, candidate = self._ranges[i]
+            if start <= addr < end:
+                name = candidate
+        cache[addr] = name
+        return name
 
     def probes_at(self, addr: int) -> List[ProbeRecord]:
         if not self.has_addr(addr):
@@ -134,10 +164,67 @@ class Binary:
         return self.instr_at(addr).dloc
 
     def instructions_in_range(self, begin: int, end: int) -> List[MInstr]:
-        """Instructions with begin <= addr <= end (inclusive, like LBR ranges)."""
+        """Instructions with begin <= addr <= end (inclusive, like LBR ranges).
+
+        Memoized per (begin, end): aggregated LBR ranges repeat the same few
+        hot intervals thousands of times, so profgen's rescans collapse to
+        dict hits.  Cached lists must be treated as read-only.
+        """
+        cache = self._instr_range_cache
+        stats = self.index_stats
+        instrs = cache.get((begin, end))
+        if instrs is not None:
+            stats["instr_range_hits"] += 1
+            return instrs
+        stats["instr_range_misses"] += 1
+        lo = bisect.bisect_left(self._addrs, begin)
+        hi = bisect.bisect_right(self._addrs, end)
+        instrs = self.instrs[lo:hi]
+        cache[(begin, end)] = instrs
+        return instrs
+
+    def scan_instructions_in_range(self, begin: int, end: int) -> List[MInstr]:
+        """Cache-free reference scan for :meth:`instructions_in_range`;
+        used by profgen's legacy path and the differential tests."""
         lo = bisect.bisect_left(self._addrs, begin)
         hi = bisect.bisect_right(self._addrs, end)
         return self.instrs[lo:hi]
+
+    # -- probe range index ---------------------------------------------------
+    def _build_probe_index(self) -> None:
+        """One-time prefix-sum index: instruction i's probe records live at
+        ``_probe_flat[_probe_offsets[i]:_probe_offsets[i + 1]]``, so any
+        address range maps to one contiguous slice with no per-instruction
+        scanning."""
+        flat: List[ProbeRecord] = []
+        offsets: List[int] = [0]
+        for minstr in self.instrs:
+            if minstr.probes:
+                flat.extend(minstr.probes)
+            offsets.append(len(flat))
+        self._probe_flat = flat
+        self._probe_offsets = offsets
+
+    def probe_records_in_range(self, begin: int, end: int) -> List[ProbeRecord]:
+        """All probe records on instructions with begin <= addr <= end, in
+        instruction order (identical to scanning :meth:`instructions_in_range`
+        and concatenating each ``minstr.probes``).  Served from the prefix
+        index plus a per-(begin, end) memo; results are read-only."""
+        cache = self._probe_range_cache
+        stats = self.index_stats
+        records = cache.get((begin, end))
+        if records is not None:
+            stats["probe_range_hits"] += 1
+            return records
+        stats["probe_range_misses"] += 1
+        if self._probe_flat is None:
+            self._build_probe_index()
+        lo = bisect.bisect_left(self._addrs, begin)
+        hi = bisect.bisect_right(self._addrs, end)
+        records = self._probe_flat[self._probe_offsets[lo]:
+                                  self._probe_offsets[hi]]
+        cache[(begin, end)] = records
+        return records
 
 
 def link(module: Module, lowered: Optional[Dict[str, MFunction]] = None,

@@ -4,11 +4,13 @@ from .frame_inferrer import FrameInferrer, TailCallGraph
 from .profgen import (RawAggregation, aggregate_samples,
                       generate_context_profile, generate_dwarf_profile,
                       generate_probe_profile)
-from .unwinder import CallSample, RangeSample, UnwindResult, Unwinder
+from .unwinder import (CallSample, PayloadResult, RangeSample, UnwindResult,
+                       Unwinder)
 
 __all__ = [
-    "CallSample", "FrameInferrer", "RangeSample", "RawAggregation",
-    "TailCallGraph", "UnwindResult", "Unwinder", "aggregate_samples",
+    "CallSample", "FrameInferrer", "PayloadResult", "RangeSample",
+    "RawAggregation", "TailCallGraph", "UnwindResult", "Unwinder",
+    "aggregate_samples",
     "generate_context_profile", "generate_dwarf_profile",
     "generate_probe_profile",
 ]

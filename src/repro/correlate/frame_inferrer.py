@@ -30,9 +30,22 @@ class TailCallGraph:
 
     @classmethod
     def from_samples(cls, binary: Binary, samples) -> "TailCallGraph":
+        # Deduplicated, order-exact construction.  The naive per-sample walk
+        # is last-write-wins per (source_func, target_func) edge; walking the
+        # stream *backwards* with first-write-wins produces the identical
+        # final edge map, and in that direction repeated LBR payloads are
+        # pure no-ops (their edges were already attempted on first sight), so
+        # each unique payload — loopy workloads repeat the same window
+        # endlessly — is extracted and applied exactly once.
         graph = cls()
-        for sample in samples:
-            for source, target in sample.lbr:
+        edges = graph.edges
+        seen: Set[Tuple[Tuple[int, int], ...]] = set()
+        for sample in reversed(samples):
+            lbr = sample.lbr
+            if lbr in seen:
+                continue
+            seen.add(lbr)
+            for source, target in reversed(lbr):
                 if not binary.has_addr(source):
                     continue
                 instr = binary.instr_at(source)
@@ -40,7 +53,9 @@ class TailCallGraph:
                     source_func = instr.func
                     target_func = binary.function_at(target)
                     if source_func and target_func:
-                        graph.add_edge(source_func, target_func, source)
+                        targets = edges.setdefault(source_func, {})
+                        if target_func not in targets:
+                            targets[target_func] = source
         return graph
 
 
@@ -63,14 +78,17 @@ class FrameInferrer:
         returned addresses until control reached ``actual_func``.  ``None``
         when no path or multiple paths exist (inference failure).
         """
+        tel = telemetry.enabled()
         self.attempted += 1
-        telemetry.count("correlate", "frame_inference_attempts")
+        if tel:
+            telemetry.count("correlate", "frame_inference_attempts")
         key = (expected_func, actual_func)
         if key in self._cache:
             result = self._cache[key]
             if result is not None:
                 self.recovered += 1
-                telemetry.count("correlate", "frame_inference_recoveries")
+                if tel:
+                    telemetry.count("correlate", "frame_inference_recoveries")
             return result
         paths: List[List[Tuple[str, int]]] = []
         self._dfs(expected_func, actual_func, [], set(), paths)
@@ -78,8 +96,9 @@ class FrameInferrer:
         self._cache[key] = result
         if result is not None:
             self.recovered += 1
-            telemetry.count("correlate", "frame_inference_recoveries")
-        elif len(paths) > 1:
+            if tel:
+                telemetry.count("correlate", "frame_inference_recoveries")
+        elif len(paths) > 1 and tel:
             telemetry.count("correlate", "frame_inference_ambiguous")
         return result
 

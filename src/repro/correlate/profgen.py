@@ -13,6 +13,24 @@ This is the llvm-profgen equivalent.  Three modes:
   count lands under the calling context reconstructed by Algorithm 1; the
   physical frame chain from the unwinder is concatenated with each probe's
   self-describing inline chain.
+
+Every mode runs on a **fast path** by default (``fast=True``), built from
+four reuse layers (DESIGN.md sec. 9):
+
+1. sample pre-aggregation — :meth:`PerfData.aggregated` deduplicates
+   identical ``(lbr, stack)`` payloads so each unique sample is unwound once
+   and its counts multiplied (llvm-profgen's pre-aggregated perf input);
+2. memoized unwinding — the :class:`Unwinder` caches full ``UnwindResult``s
+   per unique payload;
+3. precomputed binary indexes — range->probe-record prefix index and
+   memoized range/symbolization lookups on :class:`Binary`;
+4. interned contexts — a :class:`ContextTrie` interner plus a
+   ``context_key`` memo, so symbolization happens once per distinct context.
+
+``fast=False`` runs the original per-sample, rescanning, memo-free
+algorithm; differential tests pin both paths to byte-identical output
+(dedup-then-multiply is exact because unwinding is deterministic per
+payload).
 """
 
 from __future__ import annotations
@@ -24,10 +42,10 @@ from .. import telemetry
 from ..codegen.binary import Binary
 from ..codegen.probe_metadata import ProbeMetadata
 from ..hw.perf_data import PerfData
-from ..profile.context import ContextKey, base_context
+from ..profile.context import ContextKey, ContextTrie, base_context
 from ..profile.profiles import ContextProfile, FlatProfile
 from .frame_inferrer import FrameInferrer, TailCallGraph
-from .unwinder import CallSample, RangeSample, Unwinder
+from .unwinder import Unwinder
 
 
 class RawAggregation:
@@ -40,32 +58,86 @@ class RawAggregation:
         self.calls: Counter = Counter()
         self.broken_samples = 0
         self.total_samples = 0
+        #: Distinct (lbr, stack) payloads (only set on the dedup path).
+        self.unique_samples = 0
+        #: Unwinder cache effectiveness (see :attr:`Unwinder.stats`).
+        self.unwinder_stats: Dict[str, int] = {}
 
 
 def aggregate_samples(binary: Binary, data: PerfData,
-                      use_inferrer: bool = True) -> Tuple[RawAggregation, FrameInferrer]:
-    """Unwind every sample and histogram identical ranges/calls."""
-    graph = TailCallGraph.from_samples(binary, data.samples)
-    inferrer = FrameInferrer(graph) if use_inferrer else None
-    unwinder = Unwinder(binary, inferrer)
+                      use_inferrer: bool = True,
+                      dedup: bool = True) -> Tuple[RawAggregation, FrameInferrer]:
+    """Unwind every sample and histogram identical ranges/calls.
+
+    With ``dedup=True`` (default) each unique ``(lbr, stack)`` payload is
+    unwound once and its ranges/calls credited with the payload's
+    multiplicity — exact, because unwinding is deterministic per payload.
+    ``dedup=False`` is the per-sample reference path.
+    """
+    inferrer: Optional[FrameInferrer] = None
+    if use_inferrer:
+        # The tail-call graph only feeds the inferrer; skip it entirely for
+        # context-insensitive modes.
+        graph = TailCallGraph.from_samples(binary, data.samples)
+        inferrer = FrameInferrer(graph)
+    unwinder = Unwinder(binary, inferrer, memoize=dedup)
     agg = RawAggregation()
     agg.total_samples = len(data.samples)
-    for sample in data.samples:
-        result = unwinder.unwind(sample)
-        if result.broken:
-            agg.broken_samples += 1
-        for r in result.ranges:
-            agg.ranges[(r.begin, r.end, r.context)] += 1
-        for c in result.calls:
-            agg.calls[(c.call_addr, c.target_addr, c.context)] += 1
-    if telemetry.enabled():
+    tel = telemetry.enabled()
+    ranges = agg.ranges
+    calls = agg.calls
+    if dedup:
+        entries = data.aggregated()
+        agg.unique_samples = len(entries)
+        for entry in entries:
+            count = entry.count
+            result = unwinder.unwind_payload(entry.sample)
+            if result.broken:
+                agg.broken_samples += count
+            for key in result.range_keys:
+                ranges[key] += count
+            for key in result.call_keys:
+                calls[key] += count
+            if tel and result.events:
+                # Replay the payload's events once per represented sample so
+                # counters keep their per-sample semantics under dedup.
+                for name in result.events:
+                    telemetry.count("correlate", name, count)
+    else:
+        for sample in data.samples:
+            result = unwinder.unwind(sample)
+            if result.broken:
+                agg.broken_samples += 1
+            for r in result.ranges:
+                ranges[(r.begin, r.end, r.context)] += 1
+            for c in result.calls:
+                calls[(c.call_addr, c.target_addr, c.context)] += 1
+    agg.unwinder_stats = unwinder.stats
+    if tel:
         telemetry.count("correlate", "samples_unwound", agg.total_samples)
         telemetry.count("correlate", "samples_broken", agg.broken_samples)
         telemetry.count("correlate", "lbr_ranges_attributed",
                         sum(agg.ranges.values()))
         telemetry.count("correlate", "call_transfers_attributed",
                         sum(agg.calls.values()))
+        if dedup:
+            telemetry.count("correlate", "samples_unique", agg.unique_samples)
+        for name, value in unwinder.stats.items():
+            if value:
+                telemetry.count("correlate.cache", name, value)
     return agg, inferrer
+
+
+def _index_stats_snapshot(binary: Binary) -> Dict[str, int]:
+    return dict(binary.index_stats)
+
+
+def _emit_index_stats(binary: Binary, before: Dict[str, int]) -> None:
+    """Mirror per-run deltas of the binary's persistent index counters."""
+    for name, value in binary.index_stats.items():
+        delta = value - before.get(name, 0)
+        if delta:
+            telemetry.count("correlate.cache", name, delta)
 
 
 # ---------------------------------------------------------------------------
@@ -73,12 +145,17 @@ def aggregate_samples(binary: Binary, data: PerfData,
 # ---------------------------------------------------------------------------
 
 
-def generate_dwarf_profile(binary: Binary, data: PerfData) -> FlatProfile:
-    agg, _ = aggregate_samples(binary, data, use_inferrer=False)
+def generate_dwarf_profile(binary: Binary, data: PerfData,
+                           fast: bool = True) -> FlatProfile:
+    tel = telemetry.enabled()
+    before = _index_stats_snapshot(binary) if tel else {}
+    agg, _ = aggregate_samples(binary, data, use_inferrer=False, dedup=fast)
     # Per-instruction counts first.
     instr_counts: Counter = Counter()
+    in_range = (binary.instructions_in_range if fast
+                else binary.scan_instructions_in_range)
     for (begin, end, _ctx), count in agg.ranges.items():
-        for minstr in binary.instructions_in_range(begin, end):
+        for minstr in in_range(begin, end):
             instr_counts[minstr.addr] += count
     profile = FlatProfile(FlatProfile.KIND_DWARF)
     # Collapse to (function, line, disc) with the max-heuristic.
@@ -102,6 +179,8 @@ def generate_dwarf_profile(binary: Binary, data: PerfData) -> FlatProfile:
             key = (call_instr.dloc.line, call_instr.dloc.discriminator)
             profile.get_or_create(func).add_call(key, callee, float(count))
     profile.finalize()
+    if tel:
+        _emit_index_stats(binary, before)
     return profile
 
 
@@ -110,22 +189,38 @@ def generate_dwarf_profile(binary: Binary, data: PerfData) -> FlatProfile:
 # ---------------------------------------------------------------------------
 
 
-def _probe_counts(binary: Binary, agg: RawAggregation) -> Tuple[Counter, set]:
+def _probe_counts(binary: Binary, agg: RawAggregation,
+                  use_index: bool = True) -> Tuple[Counter, set]:
     """(context, guid, probe_id, inline_stack) -> count for all anchored
     probes covered by ranges.  Dangling probes get no counts — their counts
     are unknown by construction (paper sec. III.A) — but are reported so the
-    annotator can distinguish "unknown" from "cold"."""
+    annotator can distinguish "unknown" from "cold".
+
+    ``use_index=True`` serves each range from the binary's probe prefix
+    index (one contiguous slice, memoized per range) instead of rescanning
+    every instruction; record order is identical by construction.
+    """
     counts: Counter = Counter()
     dangling: set = set()
-    for (begin, end, ctx), count in agg.ranges.items():
-        for minstr in binary.instructions_in_range(begin, end):
-            for record in minstr.probes:
+    if use_index:
+        for (begin, end, ctx), count in agg.ranges.items():
+            for record in binary.probe_records_in_range(begin, end):
                 if record.dangling:
                     dangling.add((ctx, record.guid, record.probe_id,
                                   record.inline_stack))
                     continue
                 counts[(ctx, record.guid, record.probe_id,
                         record.inline_stack)] += count
+    else:
+        for (begin, end, ctx), count in agg.ranges.items():
+            for minstr in binary.scan_instructions_in_range(begin, end):
+                for record in minstr.probes:
+                    if record.dangling:
+                        dangling.add((ctx, record.guid, record.probe_id,
+                                      record.inline_stack))
+                        continue
+                    counts[(ctx, record.guid, record.probe_id,
+                            record.inline_stack)] += count
     if telemetry.enabled():
         telemetry.count("correlate", "probe_sites_counted", len(counts))
         telemetry.count("correlate", "dangling_probe_sites", len(dangling))
@@ -138,10 +233,13 @@ def _names(binary: Binary, chain: tuple) -> List[Tuple[str, int]]:
 
 
 def generate_probe_profile(binary: Binary, data: PerfData,
-                           probe_meta: ProbeMetadata) -> FlatProfile:
+                           probe_meta: ProbeMetadata,
+                           fast: bool = True) -> FlatProfile:
     """Probe-only CSSPGO: context-insensitive, sum-folded probe counts."""
-    agg, _ = aggregate_samples(binary, data, use_inferrer=False)
-    counts, dangling = _probe_counts(binary, agg)
+    tel = telemetry.enabled()
+    before = _index_stats_snapshot(binary) if tel else {}
+    agg, _ = aggregate_samples(binary, data, use_inferrer=False, dedup=fast)
+    counts, dangling = _probe_counts(binary, agg, use_index=fast)
     profile = FlatProfile(FlatProfile.KIND_PROBE)
     for (_ctx, guid, probe_id, _stack), count in counts.items():
         name = binary.guid_to_name.get(guid)
@@ -158,6 +256,8 @@ def generate_probe_profile(binary: Binary, data: PerfData,
     _probe_head_and_calls(binary, agg, probe_meta,
                           lambda name, ctx: profile.get_or_create(name))
     profile.finalize()
+    if tel:
+        _emit_index_stats(binary, before)
     return profile
 
 
@@ -186,31 +286,61 @@ def _probe_head_and_calls(binary: Binary, agg: RawAggregation,
 
 def generate_context_profile(binary: Binary, data: PerfData,
                              probe_meta: ProbeMetadata,
-                             use_inferrer: bool = True
+                             use_inferrer: bool = True,
+                             fast: bool = True
                              ) -> Tuple[ContextProfile, FrameInferrer]:
     """Full CSSPGO: context-sensitive probe profile via Algorithm 1."""
-    agg, inferrer = aggregate_samples(binary, data, use_inferrer=use_inferrer)
-    counts, dangling = _probe_counts(binary, agg)
+    tel = telemetry.enabled()
+    before = _index_stats_snapshot(binary) if tel else {}
+    agg, inferrer = aggregate_samples(binary, data,
+                                      use_inferrer=use_inferrer, dedup=fast)
+    counts, dangling = _probe_counts(binary, agg, use_index=fast)
     profile = ContextProfile()
+    trie = ContextTrie()
+    #: (ctx, inline_chain, guid) -> (key or None, fallback counter or None).
+    memo: Dict[tuple, Tuple[Optional[ContextKey], Optional[str]]] = {}
+    memo_hits = 0
 
-    def context_key(ctx: Optional[tuple], inline_chain: tuple,
-                    leaf_guid: int) -> Optional[ContextKey]:
+    def symbolize(ctx: Optional[tuple], inline_chain: tuple,
+                  leaf_guid: int) -> Tuple[Optional[ContextKey], Optional[str]]:
+        """Uncached symbolization: (key, fallback-counter-name or None)."""
         leaf_name = binary.guid_to_name.get(leaf_guid)
         if leaf_name is None:
-            return None
-        frames: List[Tuple[str, Optional[int]]] = []
+            return None, None
         if ctx is None:
             # Unknown physical context: attribute to the base context.
-            telemetry.count("correlate", "unknown_context_fallbacks")
-            return base_context(leaf_name)
+            return (trie.intern(base_context(leaf_name)),
+                    "unknown_context_fallbacks")
+        frames: List[Tuple[str, Optional[int]]] = []
         for call_addr in ctx:
             chain = binary.instr_at(call_addr).call_ctx
             if not chain:
-                telemetry.count("correlate", "unsymbolized_callsite_fallbacks")
-                return base_context(leaf_name)
+                return (trie.intern(base_context(leaf_name)),
+                        "unsymbolized_callsite_fallbacks")
             frames.extend(_names(binary, chain))
         frames.extend(_names(binary, inline_chain))
-        return tuple(frames) + ((leaf_name, None),)
+        frames.append((leaf_name, None))
+        return trie.intern(frames), None
+
+    def context_key(ctx: Optional[tuple], inline_chain: tuple,
+                    leaf_guid: int) -> Optional[ContextKey]:
+        nonlocal memo_hits
+        if fast:
+            cache_key = (ctx, inline_chain, leaf_guid)
+            entry = memo.get(cache_key)
+            if entry is None:
+                entry = symbolize(ctx, inline_chain, leaf_guid)
+                memo[cache_key] = entry
+            else:
+                memo_hits += 1
+            key, fallback = entry
+        else:
+            key, fallback = symbolize(ctx, inline_chain, leaf_guid)
+        # Fallbacks are counted per occurrence (memo hits replay them), so
+        # memoization is invisible to telemetry.
+        if fallback is not None and tel:
+            telemetry.count("correlate", fallback)
+        return key
 
     for (ctx, guid, probe_id, inline_stack), count in counts.items():
         key = context_key(ctx, inline_stack, guid)
@@ -240,4 +370,13 @@ def generate_context_profile(binary: Binary, data: PerfData,
 
     _probe_head_and_calls(binary, agg, probe_meta, resolve)
     profile.finalize()
+    if tel:
+        if fast:
+            telemetry.count("correlate.cache", "context_key_memo_hits",
+                            memo_hits)
+            telemetry.count("correlate.cache", "context_key_memo_misses",
+                            len(memo))
+        telemetry.count("correlate.cache", "contexts_interned", trie.interned)
+        telemetry.count("correlate.cache", "context_intern_hits", trie.hits)
+        _emit_index_stats(binary, before)
     return profile, inferrer

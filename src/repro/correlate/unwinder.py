@@ -53,7 +53,7 @@ class CallSample:
 
 
 class UnwindResult:
-    __slots__ = ("ranges", "calls", "broken")
+    __slots__ = ("ranges", "calls", "broken", "events")
 
     def __init__(self) -> None:
         self.ranges: List[RangeSample] = []
@@ -61,16 +61,73 @@ class UnwindResult:
         #: True when the stack sample was inconsistent with LBR contents
         #: (e.g. skid) and context reconstruction was abandoned part-way.
         self.broken = False
+        #: Telemetry counter names recorded while unwinding, one entry per
+        #: event (None until the first event — events are rare).  Kept on
+        #: the result rather than emitted inline so a memoized result can
+        #: replay its events for every sample it stands for.
+        self.events: Optional[List[str]] = None
+
+    def note(self, name: str) -> None:
+        if self.events is None:
+            self.events = []
+        self.events.append(name)
+
+
+#: Sentinel distinguishing "not cached" from a cached ``None`` conversion.
+_MISSING = object()
+
+
+class PayloadResult:
+    """Compact unwind of one unique payload: key tuples, no sample objects.
+
+    ``range_keys`` holds ``(begin, end, context)`` and ``call_keys``
+    ``(call_addr, target_addr, context)`` — exactly the histogram keys
+    :func:`~repro.correlate.profgen.aggregate_samples` needs, so crediting a
+    deduplicated payload is a plain ``counter[key] += count`` per entry.
+    """
+
+    __slots__ = ("range_keys", "call_keys", "broken", "events")
+
+    def __init__(self) -> None:
+        self.range_keys: List[Tuple[int, int, Optional[Context]]] = []
+        self.call_keys: List[Tuple[int, int, Optional[Context]]] = []
+        self.broken = False
+        self.events: Optional[List[str]] = None
+
+    def note(self, name: str) -> None:
+        if self.events is None:
+            self.events = []
+        self.events.append(name)
 
 
 class Unwinder:
-    """Per-binary sample unwinder with memoized stack conversion."""
+    """Per-binary sample unwinder with memoized stack conversion and
+    (optionally) memoized full unwinds.
+
+    With ``memoize=True`` the complete :class:`UnwindResult` is cached per
+    unique ``(lbr, stack)`` payload: unwinding is deterministic given the
+    binary and inferrer, so identical payloads — the common case for loopy
+    workloads — are walked once.  ``stats`` tracks cache effectiveness.
+    """
 
     def __init__(self, binary: Binary,
-                 inferrer: Optional[FrameInferrer] = None):
+                 inferrer: Optional[FrameInferrer] = None,
+                 memoize: bool = False):
         self.binary = binary
         self.inferrer = inferrer
+        self.memoize = memoize
         self._stack_cache: dict = {}
+        self._result_cache: dict = {}
+        # Pure per-branch lookups memoized across payloads (the same branch
+        # pairs recur in every sliding LBR window of a loop):
+        #: (source, target) -> instr kind, or None when outside the binary.
+        self._branch_kind: dict = {}
+        #: (begin, end) -> is this a linear single-function range?
+        self._range_ok: dict = {}
+        #: return target -> preceding call-site addr, or None.
+        self._ret_site: dict = {}
+        self.stats = {"unwind_hits": 0, "unwind_misses": 0,
+                      "stack_hits": 0, "stack_misses": 0}
 
     # -- initial context from the stack sample -----------------------------
     def context_from_stack(self, stack: Tuple[int, ...]) -> Optional[Context]:
@@ -80,16 +137,18 @@ class Unwinder:
         tail-call gaps (call target != observed callee frame) are repaired
         with inferred frames when possible.
         """
-        cached = self._stack_cache.get(stack)
-        if cached is not None or stack in self._stack_cache:
+        cached = self._stack_cache.get(stack, _MISSING)
+        if cached is not _MISSING:
+            self.stats["stack_hits"] += 1
             return cached
-        binary = self.binary
+        self.stats["stack_misses"] += 1
         callsites: List[int] = []
         # stack[0] is the leaf IP; deeper entries are return addresses.
         for ret_addr in reversed(stack[1:]):  # root first
             call_instr = self._call_before(ret_addr)
             if call_instr is None:
-                telemetry.count("correlate", "stack_conversion_failures")
+                if telemetry.enabled():
+                    telemetry.count("correlate", "stack_conversion_failures")
                 self._stack_cache[stack] = None
                 return None
             callsites.append(call_instr.addr)
@@ -98,7 +157,8 @@ class Unwinder:
         if self.inferrer is not None:
             callsites = self._repair(callsites, leaf_ip=stack[0])
             if callsites is None:
-                telemetry.count("correlate", "stack_conversion_failures")
+                if telemetry.enabled():
+                    telemetry.count("correlate", "stack_conversion_failures")
                 self._stack_cache[stack] = None
                 return None
         context = tuple(callsites)
@@ -141,6 +201,143 @@ class Unwinder:
 
     # -- Algorithm 1 ---------------------------------------------------------
     def unwind(self, sample: PerfSample) -> UnwindResult:
+        """Unwind one sample, emitting its telemetry events.
+
+        With memoization on, identical ``(lbr, stack)`` payloads hit the
+        shared compact result; recorded events are replayed into telemetry
+        on every call so per-sample counter semantics are unchanged by
+        caching.
+        """
+        if self.memoize:
+            payload = self.unwind_payload(sample)
+            result = UnwindResult()
+            result.broken = payload.broken
+            result.events = payload.events
+            result.ranges = [RangeSample(*key) for key in payload.range_keys]
+            result.calls = [CallSample(*key) for key in payload.call_keys]
+        else:
+            result = self._unwind_uncached(sample)
+        if result.events and telemetry.enabled():
+            for name in result.events:
+                telemetry.count("correlate", name)
+        return result
+
+    def unwind_payload(self, sample: PerfSample) -> PayloadResult:
+        """Compact unwind of ``sample``'s payload, memoized per unique
+        ``(lbr, stack)``.  Does *not* emit telemetry events — callers
+        aggregating deduplicated samples scale ``result.events`` by the
+        payload's multiplicity themselves."""
+        if not self.memoize:
+            return self._unwind_fast(sample)
+        key = (sample.lbr, sample.stack)
+        result = self._result_cache.get(key)
+        if result is not None:
+            self.stats["unwind_hits"] += 1
+            return result
+        self.stats["unwind_misses"] += 1
+        result = self._unwind_fast(sample)
+        self._result_cache[key] = result
+        return result
+
+    def _unwind_fast(self, sample: PerfSample) -> PayloadResult:
+        """Cache-accelerated Algorithm 1 (same walk as
+        :meth:`_unwind_uncached`, which stays as the memo-free reference;
+        differential tests pin the two bit-for-bit).
+
+        Every per-branch decision is a pure function of the binary, so it is
+        memoized across payloads: branch classification, range linearity,
+        and return-site lookup each collapse to one dict probe.  The working
+        context keeps a lazily refreshed tuple mirror so repeated range
+        emissions under an unchanged context reuse one tuple.
+        """
+        result = PayloadResult()
+        range_keys = result.range_keys
+        call_keys = result.call_keys
+        branch_kind = self._branch_kind
+        range_ok = self._range_ok
+        ret_site = self._ret_site
+        addr_index = self.binary._addr_to_index
+        instrs = self.binary.instrs
+        function_at = self.binary.function_at
+
+        initial = self.context_from_stack(sample.stack)
+        if initial is None:
+            result.broken = True
+        context_list: Optional[List[int]] = (
+            list(initial) if initial is not None else None)
+        #: Tuple mirror of context_list; None = stale (rebuild on demand).
+        context_tuple: Optional[Context] = initial
+
+        prev_source = -1  # source addr of the next-later branch, -1 = none
+        for source, target in reversed(sample.lbr):
+            kind = branch_kind.get((source, target), _MISSING)
+            if kind is _MISSING:
+                if source in addr_index and target in addr_index:
+                    kind = instrs[addr_index[source]].kind
+                else:
+                    kind = None
+                branch_kind[(source, target)] = kind
+            if kind is None:
+                result.note("lbr_entries_outside_binary")
+                result.broken = True
+                context_list = None
+                prev_source = source
+                continue
+            # 1. Emit the range executed after this branch.
+            if prev_source >= 0:
+                key = (target, prev_source)
+                ok = range_ok.get(key, _MISSING)
+                if ok is _MISSING:
+                    ok = (target <= prev_source
+                          and function_at(target) == function_at(prev_source))
+                    range_ok[key] = ok
+                if ok:
+                    if context_list is None:
+                        range_keys.append((target, prev_source, None))
+                    else:
+                        if context_tuple is None:
+                            context_tuple = tuple(context_list)
+                        range_keys.append((target, prev_source, context_tuple))
+                else:
+                    # Cross-function or inverted range: not a linear run.
+                    result.note("lbr_ranges_discarded")
+            # 2. Walk back over this branch.
+            if kind == "call" or kind == "tailcall":
+                if context_list is not None:
+                    if context_list and context_list[-1] == source:
+                        context_list.pop()
+                        context_tuple = None
+                    else:
+                        # Skid or truncated stack: context is unusable from
+                        # here back in time.
+                        result.note("skid_context_aborts")
+                        result.broken = True
+                        context_list = None
+                # The call sample carries the *caller's* context.
+                if context_list is None:
+                    call_keys.append((source, target, None))
+                else:
+                    if context_tuple is None:
+                        context_tuple = tuple(context_list)
+                    call_keys.append((source, target, context_tuple))
+            elif kind == "ret":
+                if context_list is not None:
+                    site = ret_site.get(target, _MISSING)
+                    if site is _MISSING:
+                        call_instr = self._call_before(target)
+                        site = None if call_instr is None else call_instr.addr
+                        ret_site[target] = site
+                    if site is None:
+                        result.note("ret_without_callsite")
+                        result.broken = True
+                        context_list = None
+                    else:
+                        context_list.append(site)
+                        context_tuple = None
+            prev_source = source
+        return result
+
+    def _unwind_uncached(self, sample: PerfSample) -> UnwindResult:
         """Walk the LBR newest-to-oldest, emitting execution ranges.
 
         Invariant: entering the loop iteration for branch ``b``, the working
@@ -163,7 +360,7 @@ class Unwinder:
         prev_branch: Optional[Tuple[int, int]] = None
         for source, target in reversed(sample.lbr):
             if not binary.has_addr(source) or not binary.has_addr(target):
-                telemetry.count("correlate", "lbr_entries_outside_binary")
+                result.note("lbr_entries_outside_binary")
                 result.broken = True
                 context_list = None
                 prev_branch = (source, target)
@@ -178,7 +375,7 @@ class Unwinder:
                     result.ranges.append(RangeSample(begin, end, ctx))
                 else:
                     # Cross-function or inverted range: not a linear run.
-                    telemetry.count("correlate", "lbr_ranges_discarded")
+                    result.note("lbr_ranges_discarded")
             # 2. Walk back over this branch.
             if kind in ("call", "tailcall"):
                 if context_list is not None:
@@ -187,7 +384,7 @@ class Unwinder:
                     else:
                         # Skid or truncated stack: context is unusable from
                         # here back in time.
-                        telemetry.count("correlate", "skid_context_aborts")
+                        result.note("skid_context_aborts")
                         result.broken = True
                         context_list = None
                 # The call sample carries the *caller's* context.
@@ -197,7 +394,7 @@ class Unwinder:
                 if context_list is not None:
                     call_instr = self._call_before(target)
                     if call_instr is None:
-                        telemetry.count("correlate", "ret_without_callsite")
+                        result.note("ret_without_callsite")
                         result.broken = True
                         context_list = None
                     else:

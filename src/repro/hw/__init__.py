@@ -16,12 +16,13 @@ from .executor import (DEFAULT_ENGINE, Frame, MachineExecutionLimit,
                        MachineExecutionResult, MachineExecutor, execute,
                        make_pmu)
 from .lbr import LBRStack
-from .perf_data import PerfData, PerfSample
+from .perf_data import AggregatedSample, PerfData, PerfSample
 from .pmu import PMU, PMUConfig
 
 __all__ = [
     "DEFAULT_ENGINE", "DecodedProgram", "Frame", "LBRStack",
     "MachineExecutionLimit", "MachineExecutionResult", "MachineExecutor",
-    "PMU", "PMUConfig", "PerfData", "PerfSample", "decode_program",
+    "AggregatedSample", "PMU", "PMUConfig", "PerfData", "PerfSample",
+    "decode_program",
     "execute", "make_pmu", "run_decoded",
 ]

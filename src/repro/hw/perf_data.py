@@ -28,6 +28,23 @@ class PerfSample:
         self.ip = ip
 
 
+class AggregatedSample:
+    """One unique ``(lbr, stack)`` payload and how many times it was seen.
+
+    ``sample`` is the first :class:`PerfSample` that carried the payload;
+    unwinding only reads ``lbr``/``stack``, so any representative works.
+    """
+
+    __slots__ = ("sample", "count")
+
+    def __init__(self, sample: PerfSample):
+        self.sample = sample
+        self.count = 0
+
+    def __repr__(self) -> str:
+        return f"<AggregatedSample x{self.count}>"
+
+
 class PerfData:
     """A full profiling session: all samples plus collection metadata."""
 
@@ -37,9 +54,41 @@ class PerfData:
         self.pebs = pebs
         self.samples: List[PerfSample] = []
         self.instructions_retired = 0
+        self._aggregated: Optional[List[AggregatedSample]] = None
 
     def add(self, sample: PerfSample) -> None:
         self.samples.append(sample)
+        self._aggregated = None
+
+    def extend(self, other: "PerfData") -> None:
+        """Append another session's samples (multi-iteration merge)."""
+        self.samples.extend(other.samples)
+        self._aggregated = None
+
+    def aggregated(self) -> List["AggregatedSample"]:
+        """Samples deduplicated by ``(lbr, stack)`` payload.
+
+        Loopy workloads are highly repetitive: a steady-state loop produces
+        the same LBR window and stack over and over, so profile generation
+        can unwind each unique payload once and multiply by its count
+        (llvm-profgen's pre-aggregated perf input).  Entries keep the
+        first-occurrence order of their payloads, which makes the
+        aggregated pass order-equivalent to the per-sample one.  The view
+        is cached and invalidated by :meth:`add`.
+        """
+        if self._aggregated is None:
+            index: dict = {}
+            out: List[AggregatedSample] = []
+            for sample in self.samples:
+                key = (sample.lbr, sample.stack)
+                entry = index.get(key)
+                if entry is None:
+                    entry = AggregatedSample(sample)
+                    index[key] = entry
+                    out.append(entry)
+                entry.count += 1
+            self._aggregated = out
+        return self._aggregated
 
     def __len__(self) -> int:
         return len(self.samples)

@@ -1,7 +1,7 @@
 """Profile data model: flat, context-sensitive, serialization, trimming."""
 
-from .context import (ContextKey, Frame, base_context, caller_frame,
-                      extend_context, format_context, is_prefix,
+from .context import (ContextKey, ContextTrie, Frame, base_context,
+                      caller_frame, extend_context, format_context, is_prefix,
                       leaf_function, make_context, parent_context,
                       parse_context)
 from .function_samples import ATTR_SHOULD_INLINE, FunctionSamples
@@ -13,8 +13,8 @@ from .text_format import (dump_context_profile, dump_flat_profile,
 from .trimming import trim_cold_contexts
 
 __all__ = [
-    "ATTR_SHOULD_INLINE", "ContextKey", "ContextProfile", "FlatProfile",
-    "Frame", "FunctionSamples", "base_context", "caller_frame",
+    "ATTR_SHOULD_INLINE", "ContextKey", "ContextProfile", "ContextTrie",
+    "FlatProfile", "Frame", "FunctionSamples", "base_context", "caller_frame",
     "dump_context_profile", "dump_flat_profile", "extend_context",
     "format_context", "is_prefix", "leaf_function", "load_context_profile",
     "load_flat_profile", "make_context", "parent_context", "parse_context",

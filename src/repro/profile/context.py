@@ -9,7 +9,7 @@ with ``callsite_id is None`` for the leaf (the profiled function itself).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Iterable, Optional, Tuple
 
 Frame = Tuple[str, Optional[int]]
 ContextKey = Tuple[Frame, ...]
@@ -72,6 +72,57 @@ def parse_context(text: str) -> ContextKey:
         else:
             frames.append((part, None))
     return tuple(frames)
+
+
+class _TrieNode:
+    __slots__ = ("children", "key")
+
+    def __init__(self) -> None:
+        self.children: dict = {}
+        self.key: Optional[ContextKey] = None
+
+
+class ContextTrie:
+    """Frame-trie interner for :data:`ContextKey` tuples.
+
+    The SampleContextTracker idea from llvm-profgen: contexts share long
+    prefixes (everything under ``main`` starts the same way), so interning
+    them through a trie keyed frame-by-frame returns one canonical tuple
+    object per distinct context.  Equal contexts then share storage and
+    compare identically everywhere downstream (profile dicts, trimming,
+    the pre-inliner) instead of each count tuple materializing its own copy.
+
+    ``interned``/``hits`` count distinct contexts vs. re-interned lookups.
+    """
+
+    __slots__ = ("_root", "interned", "hits")
+
+    def __init__(self) -> None:
+        self._root = _TrieNode()
+        self.interned = 0
+        self.hits = 0
+
+    def intern(self, frames: Iterable[Frame]) -> ContextKey:
+        """Canonical :data:`ContextKey` equal to ``tuple(frames)``."""
+        node = self._root
+        for frame in frames:
+            child = node.children.get(frame)
+            if child is None:
+                child = _TrieNode()
+                node.children[frame] = child
+            node = child
+        if node.key is None:
+            node.key = tuple(frames)
+            self.interned += 1
+        else:
+            self.hits += 1
+        return node.key
+
+    def __len__(self) -> int:
+        return self.interned
+
+    def __repr__(self) -> str:
+        return f"<ContextTrie {self.interned} contexts, {self.hits} hits>"
 
 
 def is_prefix(prefix: ContextKey, context: ContextKey) -> bool:
