@@ -6,10 +6,12 @@ from .matcher import (ChecksumMismatch, annotate_function_dwarf,
 from .sample_loader import (AnnotationStats, annotate_autofdo,
                             annotate_instr, annotate_probe_flat,
                             csspgo_sample_loader)
+from .validation import ValidationReport, validate_profile
 
 __all__ = [
-    "AnnotationStats", "ChecksumMismatch", "annotate_autofdo",
-    "annotate_function_dwarf", "annotate_function_probe", "annotate_instr",
-    "annotate_probe_flat", "apply_cfg_drift", "apply_comment_drift",
-    "clear_annotation", "csspgo_sample_loader",
+    "AnnotationStats", "ChecksumMismatch", "ValidationReport",
+    "annotate_autofdo", "annotate_function_dwarf", "annotate_function_probe",
+    "annotate_instr", "annotate_probe_flat", "apply_cfg_drift",
+    "apply_comment_drift", "clear_annotation", "csspgo_sample_loader",
+    "validate_profile",
 ]

@@ -18,6 +18,7 @@ from typing import Optional
 
 from ..ir.function import Function
 from ..ir.instructions import PseudoProbe
+from ..profile.errors import ProfileStaleError
 from ..profile.function_samples import FunctionSamples
 
 
@@ -36,8 +37,10 @@ def annotate_function_dwarf(fn: Function, samples: FunctionSamples) -> None:
     fn.entry_count = samples.head
 
 
-class ChecksumMismatch(Exception):
-    """Profile was collected from a different CFG shape (source drift)."""
+#: Historical name for the drift-detection failure; the typed hierarchy in
+#: :mod:`repro.profile.errors` owns the class now, so ``except
+#: ChecksumMismatch`` and ``except ProfileStaleError`` are interchangeable.
+ChecksumMismatch = ProfileStaleError
 
 
 def annotate_function_probe(fn: Function, samples: FunctionSamples,

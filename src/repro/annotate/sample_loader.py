@@ -42,11 +42,28 @@ class AnnotationStats:
         self.no_profile: List[str] = []
         self.inlined_contexts: List[ContextKey] = []
 
+    def usable(self, profile_nonempty: bool) -> bool:
+        """Did the profile annotate *anything*?  ``False`` with a non-empty
+        profile means every function was rejected or unmatched — the signal
+        the driver's degradation chain acts on."""
+        return bool(self.annotated) or not profile_nonempty
+
     def __repr__(self) -> str:
         return (f"<AnnotationStats annotated={len(self.annotated)} "
                 f"rejected={len(self.rejected_checksum)} "
                 f"static={len(self.no_profile)} "
                 f"cs_inlined={len(self.inlined_contexts)}>")
+
+
+def _reject_checksum(stats: AnnotationStats, name: str, strict: bool,
+                     exc: ChecksumMismatch) -> None:
+    """Permissive mode: drop one function's profile, count it, carry on.
+    Strict mode: surface the typed error."""
+    if strict:
+        raise exc
+    telemetry.count("annotate", "checksum_rejected_functions")
+    telemetry.count("annotate.drop", "checksum_mismatch")
+    stats.rejected_checksum.append(name)
 
 
 def annotate_autofdo(module: Module, profile: FlatProfile) -> AnnotationStats:
@@ -65,7 +82,16 @@ def annotate_autofdo(module: Module, profile: FlatProfile) -> AnnotationStats:
     return stats
 
 
-def annotate_probe_flat(module: Module, profile: FlatProfile) -> AnnotationStats:
+def annotate_probe_flat(module: Module, profile: FlatProfile,
+                        strict: bool = False) -> AnnotationStats:
+    """Probe-only profile application with enforced checksum verification.
+
+    Per-function fallback (permissive mode, the default): a function whose
+    recorded checksum disagrees with the IR is dropped from the application
+    — counted under ``annotate.drop.checksum_mismatch`` — and the rest of
+    the profile still applies.  ``strict=True`` raises
+    :class:`~repro.profile.errors.ProfileStaleError` instead.
+    """
     stats = AnnotationStats()
     heads: Dict[str, float] = {}
     for name, fn in module.functions.items():
@@ -75,9 +101,8 @@ def annotate_probe_flat(module: Module, profile: FlatProfile) -> AnnotationStats
             continue
         try:
             annotate_function_probe(fn, samples)
-        except ChecksumMismatch:
-            telemetry.count("annotate", "checksum_rejected_functions")
-            stats.rejected_checksum.append(name)
+        except ChecksumMismatch as exc:
+            _reject_checksum(stats, name, strict, exc)
             continue
         heads[name] = samples.head
         stats.annotated.append(name)
@@ -172,7 +197,8 @@ def annotate_fs_autofdo_late(module: Module, profile: FlatProfile) -> int:
 
 
 def csspgo_sample_loader(module: Module, profile: ContextProfile,
-                         config: Optional[OptConfig] = None) -> AnnotationStats:
+                         config: Optional[OptConfig] = None,
+                         strict: bool = False) -> AnnotationStats:
     """Annotate + replay pre-inliner decisions, top-down.
 
     Requires a pre-inliner-transformed profile: surviving non-base contexts
@@ -196,9 +222,8 @@ def csspgo_sample_loader(module: Module, profile: ContextProfile,
         if base is not None:
             try:
                 annotate_function_probe(fn, base)
-            except ChecksumMismatch:
-                telemetry.count("annotate", "checksum_rejected_functions")
-                stats.rejected_checksum.append(name)
+            except ChecksumMismatch as exc:
+                _reject_checksum(stats, name, strict, exc)
                 continue
             heads[name] = base.head
             stats.annotated.append(name)
@@ -233,6 +258,7 @@ def _replay_inline_decisions(module: Module, fn: Function,
                                and child.checksum != callee.probe_checksum)
             if not checksum_ok:
                 telemetry.count("annotate", "checksum_rejected_inline_sites")
+                telemetry.count("annotate.drop", "inline_site_checksum_mismatch")
                 stats.rejected_checksum.append(f"{callee_name}@inline")
             # The compiler's own limits gate the pre-inliner's wish.
             within_limits = (function_size(callee) <= config.inline_hot_threshold

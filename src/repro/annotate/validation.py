@@ -1,0 +1,102 @@
+"""Profile-vs-binary validation: would this profile apply cleanly?
+
+The offline half of the checksum enforcement that
+:func:`~repro.annotate.sample_loader.annotate_probe_flat` performs at
+application time: given a profile and the build artifacts it is about to be
+applied to, report — *without building anything* — how much of it will
+match.  This is the engine of the ``repro validate`` CLI subcommand (CI
+gate: ship the profile only if enough of it is still valid).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from ..codegen.binary import Binary
+from ..codegen.probe_metadata import ProbeMetadata
+from ..profile.profiles import ContextProfile, FlatProfile
+
+Profile = Union[FlatProfile, ContextProfile]
+
+
+class ValidationReport:
+    """Per-function checksum audit of one profile against one binary."""
+
+    def __init__(self) -> None:
+        #: Functions whose recorded checksum equals the binary's.
+        self.matched: List[str] = []
+        #: Functions whose recorded checksum disagrees (stale profile).
+        self.mismatched: List[str] = []
+        #: Profile functions the binary does not know (moved/renamed
+        #: functions, GUID drift — the "different build" signal).
+        self.unknown: List[str] = []
+        #: Functions present in both but with no checksum to compare
+        #: (DWARF profiles, or probe records that never carried one).
+        self.unchecked: List[str] = []
+
+    @property
+    def checked(self) -> int:
+        return len(self.matched) + len(self.mismatched)
+
+    @property
+    def match_rate(self) -> float:
+        """Fraction of checksum-bearing functions that still match; 1.0 for
+        a profile with nothing to check (nothing contradicts the binary)."""
+        if not self.checked:
+            return 1.0
+        return len(self.matched) / self.checked
+
+    def passed(self, min_match_rate: float = 1.0,
+               max_unknown: Optional[int] = None) -> bool:
+        if self.match_rate < min_match_rate:
+            return False
+        if max_unknown is not None and len(self.unknown) > max_unknown:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return (f"<ValidationReport match={len(self.matched)} "
+                f"mismatch={len(self.mismatched)} unknown={len(self.unknown)} "
+                f"rate={self.match_rate:.2%}>")
+
+
+def _profile_checksums(profile: Profile) -> Dict[str, Optional[int]]:
+    """function name -> recorded checksum (first non-None record wins)."""
+    recorded: Dict[str, Optional[int]] = {}
+    if isinstance(profile, ContextProfile):
+        records = profile.contexts.values()
+    else:
+        records = profile.functions.values()
+    for samples in records:
+        if recorded.get(samples.name) is None:
+            recorded[samples.name] = samples.checksum
+    return recorded
+
+
+def validate_profile(profile: Profile, binary: Binary,
+                     probe_meta: Optional[ProbeMetadata]) -> ValidationReport:
+    """Audit every profile function against the binary's recorded checksums.
+
+    Name resolution goes through the GUID map, not just the symbol table:
+    a function fully inlined away has no out-of-line symbol but is still a
+    known, checksummed part of this build.
+    """
+    report = ValidationReport()
+    checksums = probe_meta.checksums if probe_meta is not None else {}
+    guid_by_name = {name: guid for guid, name in binary.guid_to_name.items()}
+    recorded_by_name = _profile_checksums(profile)
+    for name in sorted(recorded_by_name):
+        recorded = recorded_by_name[name]
+        symbol = binary.symbols.get(name)
+        guid = symbol.guid if symbol is not None else guid_by_name.get(name)
+        if guid is None:
+            report.unknown.append(name)
+            continue
+        expected = checksums.get(guid)
+        if recorded is None or expected is None:
+            report.unchecked.append(name)
+        elif recorded == expected:
+            report.matched.append(name)
+        else:
+            report.mismatched.append(name)
+    return report

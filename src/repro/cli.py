@@ -27,6 +27,7 @@ from typing import List, Optional
 
 from . import (PGODriverConfig, PGOVariant, build, compare_variants, run_pgo,
                speedup_over, telemetry)
+from .faults import parse_fault_spec
 from .hw import PMUConfig, execute, make_pmu
 from .telemetry import render_stats_report, write_chrome_trace, write_remarks
 from .workloads import (SERVER_WORKLOADS, WorkloadSpec, build_server_workload,
@@ -46,7 +47,9 @@ def _config(args) -> PGODriverConfig:
     return PGODriverConfig(
         pmu=PMUConfig(period=args.period),
         profile_iterations=args.iterations,
-        independent_profiling=getattr(args, "independent_profiling", False))
+        independent_profiling=getattr(args, "independent_profiling", False),
+        fault_spec=args.fault_spec,
+        strict_profile=args.strict_profile)
 
 
 def _parse_variants(spec: str) -> Optional[List[PGOVariant]]:
@@ -130,6 +133,49 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_validate(args) -> int:
+    """Audit a saved profile against a freshly built binary.
+
+    The CI gate of DESIGN.md sec. 10: load the profile text, rebuild the
+    workload the same way ``repro profile`` built it, and report how much of
+    the profile would still apply — checksum match rate plus unknown-GUID
+    count — with a pass/fail exit code.
+    """
+    from .annotate import validate_profile
+    from .profile import (ProfileParseError, load_context_profile,
+                          load_flat_profile)
+    try:
+        with open(args.profile_file) as handle:
+            text = handle.read()
+    except OSError as exc:
+        print(f"error: cannot read profile: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if text.lstrip().startswith("# kind: context"):
+            profile = load_context_profile(text, strict=args.strict_profile)
+        else:
+            profile = load_flat_profile(text, strict=args.strict_profile)
+    except ProfileParseError as exc:
+        print(f"error: malformed profile: {exc}", file=sys.stderr)
+        return 2
+    module, _requests = _resolve_workload(args.workload, args.seed)
+    artifacts = build(module, PGOVariant.CSSPGO_FULL)
+    report = validate_profile(profile, artifacts.binary, artifacts.probe_meta)
+    ok = report.passed(min_match_rate=args.min_match_rate,
+                       max_unknown=args.max_unknown)
+    print(f"profile {args.profile_file} vs workload {args.workload}:")
+    print(f"  checksum match rate {report.match_rate*100:6.2f}%  "
+          f"({len(report.matched)}/{report.checked} checked)")
+    print(f"  unknown functions   {len(report.unknown)}")
+    print(f"  unchecked           {len(report.unchecked)}")
+    print(f"  verdict             {'PASS' if ok else 'FAIL'}")
+    if report.mismatched and not ok:
+        shown = ", ".join(report.mismatched[:5])
+        print(f"  stale: {shown}"
+              + (" ..." if len(report.mismatched) > 5 else ""))
+    return 0 if ok else 1
+
+
 def cmd_stats(args) -> int:
     """Run one full PGO cycle purely for its telemetry."""
     try:
@@ -141,6 +187,17 @@ def cmd_stats(args) -> int:
     module, requests = _resolve_workload(args.workload, args.seed)
     run_pgo(module, variant, [requests], [requests], _config(args))
     return 0
+
+
+def _run_command(args) -> int:
+    """Dispatch to the subcommand; strict-mode profile errors exit cleanly
+    (typed, one line) instead of with a traceback — loud but not messy."""
+    from .profile import ProfileError
+    try:
+        return args.func(args)
+    except ProfileError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -162,6 +219,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="write a Chrome trace-event JSON of the run")
     parser.add_argument("--remarks-out", default=None, metavar="PATH",
                         help="write optimization remarks JSON")
+    parser.add_argument("--strict-profile", action="store_true",
+                        help="raise on stale/malformed profiles instead of "
+                             "the default drop-and-degrade")
+    parser.add_argument("--fault-spec", default=None, metavar="SPEC",
+                        type=parse_fault_spec,
+                        help="inject deterministic faults into every "
+                             "collection, e.g. 'stale_checksum:1,"
+                             "drop_samples:0.2@seed=7'")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("workloads", help="list named workloads")
@@ -185,6 +250,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("-o", "--output", default=None)
     p.set_defaults(func=cmd_profile)
     p = sub.add_parser(
+        "validate", help="audit a saved profile against a fresh build")
+    p.add_argument("profile_file", help="profile text file (repro profile -o)")
+    p.add_argument("workload")
+    p.add_argument("--min-match-rate", type=float, default=1.0,
+                   metavar="FRAC",
+                   help="minimum checksum match rate to pass (default 1.0)")
+    p.add_argument("--max-unknown", type=int, default=None, metavar="N",
+                   help="fail when more than N profile functions are unknown "
+                        "to the binary (default: no limit)")
+    p.set_defaults(func=cmd_validate)
+    p = sub.add_parser(
         "stats", help="run one PGO cycle and print its telemetry report")
     p.add_argument("workload")
     p.add_argument("--variant", default=PGOVariant.CSSPGO_FULL.value,
@@ -195,13 +271,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     want_stats = args.stats or getattr(args, "force_stats", False)
     collect = want_stats or args.trace_out or args.remarks_out
     if not collect:
-        return args.func(args)
+        return _run_command(args)
 
     session = telemetry.enable()
     try:
         with telemetry.span(f"repro {args.command}", "cli",
                             command=args.command):
-            rc = args.func(args)
+            rc = _run_command(args)
     finally:
         telemetry.disable()
     try:

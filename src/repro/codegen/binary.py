@@ -17,6 +17,7 @@ enclosing function, DWARF line rows, and pseudo-probe records.
 from __future__ import annotations
 
 import bisect
+import hashlib
 from typing import Dict, List, Optional, Tuple
 
 from ..ir.function import Module
@@ -80,6 +81,8 @@ class Binary:
         self._probe_range_cache: Dict[Tuple[int, int], List[ProbeRecord]] = {}
         self._instr_range_cache: Dict[Tuple[int, int], List[MInstr]] = {}
         self._func_at_cache: Dict[int, Optional[str]] = {}
+        #: Memoized :meth:`identity` digest (stable once linked).
+        self._identity: Optional[str] = None
         #: Index/cache effectiveness counters (read by bench_profgen and
         #: mirrored into telemetry by profgen).
         self.index_stats: Dict[str, int] = {
@@ -87,6 +90,30 @@ class Binary:
             "instr_range_hits": 0, "instr_range_misses": 0,
             "function_at_hits": 0, "function_at_misses": 0,
         }
+
+    def identity(self) -> str:
+        """Stable identity of this build, for profile/sample provenance.
+
+        Hashes the symbol layout (names, entry addresses, ranges) and the
+        probe GUID map — anything that moves a function or changes the probe
+        universe changes the identity.  Two binaries with equal identity
+        interpret the same addresses the same way, which is the property
+        sample merging (:meth:`~repro.hw.perf_data.PerfData.extend`) and
+        profile application rely on.
+        """
+        cached = self._identity
+        if cached is None:
+            hasher = hashlib.md5()
+            for name in sorted(self.symbols):
+                sym = self.symbols[name]
+                hasher.update(
+                    f"{name}:{sym.guid:x}:{sym.entry_addr:x}:"
+                    f"{sym.hot_range}:{sym.cold_range}|".encode())
+            for guid in sorted(self.guid_to_name):
+                hasher.update(f"{guid:x}={self.guid_to_name[guid]};".encode())
+            cached = hasher.hexdigest()[:16]
+            self._identity = cached
+        return cached
 
     # -- decoded-program cache ----------------------------------------------
     def cached_decoded(self, key, builder):

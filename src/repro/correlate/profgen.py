@@ -58,6 +58,12 @@ class RawAggregation:
         self.calls: Counter = Counter()
         self.broken_samples = 0
         self.total_samples = 0
+        #: Samples discarded entirely (no ranges, no calls), by reason —
+        #: mirrored into ``correlate.drop.<reason>`` counters.  Exact:
+        #: ``total_samples == used_samples + sum(dropped.values())``.
+        self.dropped: Counter = Counter()
+        #: Samples that contributed at least one range or call.
+        self.used_samples = 0
         #: Distinct (lbr, stack) payloads (only set on the dedup path).
         self.unique_samples = 0
         #: Unwinder cache effectiveness (see :attr:`Unwinder.stats`).
@@ -94,6 +100,10 @@ def aggregate_samples(binary: Binary, data: PerfData,
             result = unwinder.unwind_payload(entry.sample)
             if result.broken:
                 agg.broken_samples += count
+            if result.drop_reason is not None:
+                agg.dropped[result.drop_reason] += count
+            else:
+                agg.used_samples += count
             for key in result.range_keys:
                 ranges[key] += count
             for key in result.call_keys:
@@ -108,6 +118,10 @@ def aggregate_samples(binary: Binary, data: PerfData,
             result = unwinder.unwind(sample)
             if result.broken:
                 agg.broken_samples += 1
+            if result.drop_reason is not None:
+                agg.dropped[result.drop_reason] += 1
+            else:
+                agg.used_samples += 1
             for r in result.ranges:
                 ranges[(r.begin, r.end, r.context)] += 1
             for c in result.calls:
@@ -116,6 +130,9 @@ def aggregate_samples(binary: Binary, data: PerfData,
     if tel:
         telemetry.count("correlate", "samples_unwound", agg.total_samples)
         telemetry.count("correlate", "samples_broken", agg.broken_samples)
+        telemetry.count("correlate", "samples_used", agg.used_samples)
+        for reason, dropped in agg.dropped.items():
+            telemetry.count("correlate.drop", reason, dropped)
         telemetry.count("correlate", "lbr_ranges_attributed",
                         sum(agg.ranges.values()))
         telemetry.count("correlate", "call_transfers_attributed",

@@ -53,7 +53,7 @@ class CallSample:
 
 
 class UnwindResult:
-    __slots__ = ("ranges", "calls", "broken", "events")
+    __slots__ = ("ranges", "calls", "broken", "events", "drop_reason")
 
     def __init__(self) -> None:
         self.ranges: List[RangeSample] = []
@@ -66,6 +66,11 @@ class UnwindResult:
         #: the result rather than emitted inline so a memoized result can
         #: replay its events for every sample it stands for.
         self.events: Optional[List[str]] = None
+        #: Non-None when the sample yielded *nothing* usable (no ranges, no
+        #: calls): the ``correlate.drop.<reason>`` bucket it falls in.
+        #: Broken-but-partially-usable samples keep ``drop_reason=None`` —
+        #: they degrade (context-less attribution), they are not discarded.
+        self.drop_reason: Optional[str] = None
 
     def note(self, name: str) -> None:
         if self.events is None:
@@ -86,13 +91,15 @@ class PayloadResult:
     deduplicated payload is a plain ``counter[key] += count`` per entry.
     """
 
-    __slots__ = ("range_keys", "call_keys", "broken", "events")
+    __slots__ = ("range_keys", "call_keys", "broken", "events", "drop_reason")
 
     def __init__(self) -> None:
         self.range_keys: List[Tuple[int, int, Optional[Context]]] = []
         self.call_keys: List[Tuple[int, int, Optional[Context]]] = []
         self.broken = False
         self.events: Optional[List[str]] = None
+        #: See :attr:`UnwindResult.drop_reason`.
+        self.drop_reason: Optional[str] = None
 
     def note(self, name: str) -> None:
         if self.events is None:
@@ -142,6 +149,13 @@ class Unwinder:
             self.stats["stack_hits"] += 1
             return cached
         self.stats["stack_misses"] += 1
+        if not stack:
+            # Truncated to nothing (fault or collection failure): there is
+            # no leaf IP to anchor repair on, so no context can be built.
+            if telemetry.enabled():
+                telemetry.count("correlate", "stack_conversion_failures")
+            self._stack_cache[stack] = None
+            return None
         callsites: List[int] = []
         # stack[0] is the leaf IP; deeper entries are return addresses.
         for ret_addr in reversed(stack[1:]):  # root first
@@ -213,6 +227,7 @@ class Unwinder:
             result = UnwindResult()
             result.broken = payload.broken
             result.events = payload.events
+            result.drop_reason = payload.drop_reason
             result.ranges = [RangeSample(*key) for key in payload.range_keys]
             result.calls = [CallSample(*key) for key in payload.call_keys]
         else:
@@ -268,6 +283,7 @@ class Unwinder:
         #: Tuple mirror of context_list; None = stale (rebuild on demand).
         context_tuple: Optional[Context] = initial
 
+        valid_branches = 0
         prev_source = -1  # source addr of the next-later branch, -1 = none
         for source, target in reversed(sample.lbr):
             kind = branch_kind.get((source, target), _MISSING)
@@ -283,6 +299,7 @@ class Unwinder:
                 context_list = None
                 prev_source = source
                 continue
+            valid_branches += 1
             # 1. Emit the range executed after this branch.
             if prev_source >= 0:
                 key = (target, prev_source)
@@ -335,6 +352,8 @@ class Unwinder:
                         context_list.append(site)
                         context_tuple = None
             prev_source = source
+        if not range_keys and not call_keys:
+            result.drop_reason = _classify_drop(sample.lbr, valid_branches)
         return result
 
     def _unwind_uncached(self, sample: PerfSample) -> UnwindResult:
@@ -357,6 +376,7 @@ class Unwinder:
         context_list: Optional[List[int]] = (
             list(initial) if initial is not None else None)
 
+        valid_branches = 0
         prev_branch: Optional[Tuple[int, int]] = None
         for source, target in reversed(sample.lbr):
             if not binary.has_addr(source) or not binary.has_addr(target):
@@ -365,6 +385,7 @@ class Unwinder:
                 context_list = None
                 prev_branch = (source, target)
                 continue
+            valid_branches += 1
             kind = binary.instr_at(source).kind
             # 1. Emit the range executed after this branch.
             if prev_branch is not None:
@@ -400,4 +421,22 @@ class Unwinder:
                     else:
                         context_list.append(call_instr.addr)
             prev_branch = (source, target)
+        if not result.ranges and not result.calls:
+            result.drop_reason = _classify_drop(sample.lbr, valid_branches)
         return result
+
+
+def _classify_drop(lbr: Tuple[Tuple[int, int], ...],
+                   valid_branches: int) -> str:
+    """Bucket a sample that produced no ranges and no calls.
+
+    ``empty_lbr`` — nothing to walk (truncated ring); ``lbr_outside_binary``
+    — every entry referenced addresses outside the binary (corruption or a
+    different build); ``no_linear_ranges`` — entries were valid but no
+    usable linear range or call transfer fell out of the walk.
+    """
+    if not lbr:
+        return "empty_lbr"
+    if valid_branches == 0:
+        return "lbr_outside_binary"
+    return "no_linear_ranges"

@@ -1,0 +1,20 @@
+"""Fault injection: deterministic, seedable corruption of every pipeline
+boundary (DESIGN.md sec. 10).
+
+The subsystem exists to *prove* graceful degradation: every injector in
+:data:`~repro.faults.injectors.INJECTORS` can be driven through the full
+pipeline in permissive mode with zero uncaught exceptions, and the
+``correlate.drop.*`` / ``annotate.drop.*`` / ``profile.drop.*`` telemetry
+counters account exactly for everything discarded.
+"""
+
+from .injectors import (INJECTORS, InjectionReport, apply_perf_faults,
+                        apply_profile_faults, apply_text_faults,
+                        clone_perf_data, clone_profile)
+from .spec import FaultSpec, parse_fault_spec
+
+__all__ = [
+    "FaultSpec", "INJECTORS", "InjectionReport", "apply_perf_faults",
+    "apply_profile_faults", "apply_text_faults", "clone_perf_data",
+    "clone_profile", "parse_fault_spec",
+]

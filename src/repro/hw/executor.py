@@ -261,6 +261,10 @@ def execute(binary: Binary, args: Sequence[int] = (),
             engine: Optional[str] = None) -> MachineExecutionResult:
     """Convenience wrapper: run ``binary`` from its entry function."""
     engine = engine or DEFAULT_ENGINE
+    if pmu is not None and pmu.data.binary_id is None:
+        # Stamp sample provenance so downstream merges can detect attempts
+        # to combine sessions from different builds (BinaryMismatchError).
+        pmu.data.binary_id = binary.identity()
     if engine == "decoded":
         from .decoded import run_decoded
         return run_decoded(binary, args, pmu=pmu, cost_model=cost_model,

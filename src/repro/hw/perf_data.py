@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from ..profile.errors import BinaryMismatchError
+
 
 class PerfSample:
     """One synchronized LBR + call-stack sample."""
@@ -54,6 +56,10 @@ class PerfData:
         self.pebs = pebs
         self.samples: List[PerfSample] = []
         self.instructions_retired = 0
+        #: Identity of the binary the samples were collected on (see
+        #: :meth:`repro.codegen.binary.Binary.identity`); ``None`` when the
+        #: session was never bound to a binary (hand-built test data).
+        self.binary_id: Optional[str] = None
         self._aggregated: Optional[List[AggregatedSample]] = None
 
     def add(self, sample: PerfSample) -> None:
@@ -61,7 +67,21 @@ class PerfData:
         self._aggregated = None
 
     def extend(self, other: "PerfData") -> None:
-        """Append another session's samples (multi-iteration merge)."""
+        """Append another session's samples (multi-iteration merge).
+
+        Merging is only meaningful between sessions collected on the *same*
+        binary: addresses are build-specific, so mixing runs of different
+        builds silently produces garbage profiles.  When both sessions carry
+        a binary identity and they differ, the merge is refused with
+        :class:`~repro.profile.errors.BinaryMismatchError`.
+        """
+        if (self.binary_id is not None and other.binary_id is not None
+                and self.binary_id != other.binary_id):
+            raise BinaryMismatchError(
+                f"cannot merge perf data from binary {other.binary_id} "
+                f"into session from binary {self.binary_id}")
+        if self.binary_id is None:
+            self.binary_id = other.binary_id
         self.samples.extend(other.samples)
         self._aggregated = None
 

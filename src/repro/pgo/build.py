@@ -63,13 +63,17 @@ def build(source: Module, variant: PGOVariant,
           imap_from_profiling: Optional[InstrumentationMap] = None,
           opt_config: Optional[OptConfig] = None,
           lower_config: Optional[LowerConfig] = None,
-          instrument: bool = False) -> BuildArtifacts:
+          instrument: bool = False,
+          strict_profile: bool = False) -> BuildArtifacts:
     """Compile ``source`` under ``variant``.
 
     ``profile`` — apply this profile (the optimizing build of the PGO cycle);
     ``instrument`` — insert real counters (the Instr-PGO *profiling* build);
     ``imap_from_profiling`` — counter map needed to interpret an
-    instrumentation profile (its dict of counters is passed as ``profile``).
+    instrumentation profile (its dict of counters is passed as ``profile``);
+    ``strict_profile`` — raise :class:`~repro.profile.errors.ProfileStaleError`
+    on the first checksum-rejected function instead of the default per-function
+    drop-and-continue.
     """
     module = source.clone()
     config = opt_config_for(variant, opt_config)
@@ -90,9 +94,11 @@ def build(source: Module, variant: PGOVariant,
         elif variant is PGOVariant.FS_AUTOFDO:
             annotation = annotate_fs_autofdo_early(module, profile)
         elif variant is PGOVariant.CSSPGO_PROBE_ONLY:
-            annotation = annotate_probe_flat(module, profile)
+            annotation = annotate_probe_flat(module, profile,
+                                             strict=strict_profile)
         elif variant is PGOVariant.CSSPGO_FULL:
-            annotation = csspgo_sample_loader(module, profile, config)
+            annotation = csspgo_sample_loader(module, profile, config,
+                                              strict=strict_profile)
             # The CS sample loader already inlined the pre-inliner's picks;
             # the pipeline inliner may still inline hot leftovers it can see,
             # but with a tightened callee-size bar (selectivity is the

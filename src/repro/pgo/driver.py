@@ -24,6 +24,7 @@ from ..codegen.lower import LowerConfig
 from ..correlate.profgen import (generate_context_profile,
                                  generate_dwarf_profile,
                                  generate_probe_profile)
+from ..faults import FaultSpec, apply_perf_faults, apply_profile_faults
 from ..hw.executor import MachineExecutor, execute, make_pmu
 from ..hw.perf_data import PerfData
 from ..hw.pmu import PMU, PMUConfig
@@ -32,6 +33,7 @@ from ..opt.pass_manager import OptConfig
 from ..perfmodel.cost_model import CostModel
 from ..preinline.preinliner import PreInlinerConfig, run_preinliner
 from ..preinline.size_extractor import extract_function_sizes
+from ..profile.errors import ProfileError
 from ..profile.profiles import ContextProfile, FlatProfile
 from ..profile.stats import profile_stats
 from ..profile.trimming import trim_cold_contexts
@@ -93,7 +95,9 @@ class PGODriverConfig:
                  trim_cold_contexts: bool = True,
                  profile_iterations: int = 2,
                  independent_profiling: bool = False,
-                 max_instructions: int = 100_000_000):
+                 max_instructions: int = 100_000_000,
+                 fault_spec: Optional[FaultSpec] = None,
+                 strict_profile: bool = False):
         self.pmu = pmu or PMUConfig()
         self.opt = opt
         self.lower = lower
@@ -114,6 +118,15 @@ class PGODriverConfig:
         #: (``jobs`` in :func:`run_pgo`) with byte-identical results.
         self.independent_profiling = independent_profiling
         self.max_instructions = max_instructions
+        #: Deterministic fault injection (DESIGN.md sec. 10): perf-data faults
+        #: are applied to every collection's samples before profile
+        #: generation, profile faults to every generated profile before it is
+        #: consumed downstream.  ``None`` disables injection entirely.
+        self.fault_spec = fault_spec
+        #: Loud-failure mode: profile application raises typed
+        #: :class:`~repro.profile.errors.ProfileError` subclasses instead of
+        #: degrading (per-function drop + fallback chain).
+        self.strict_profile = strict_profile
 
 
 def run_pgo(source: Module, variant: PGOVariant,
@@ -141,6 +154,33 @@ def run_pgo(source: Module, variant: PGOVariant,
                               config, result, jobs)
 
 
+def _fault_perf(data: PerfData, config: PGODriverConfig,
+                result: PGORunResult) -> PerfData:
+    """Apply the configured perf-data faults (copy-on-write; passthrough
+    when no spec is set)."""
+    if config.fault_spec is None:
+        return data
+    data, report = apply_perf_faults(data, config.fault_spec)
+    if report.total():
+        telemetry.count("pgo", "perf_faults_injected", report.total())
+        result.extras["perf_faults_injected"] = (
+            int(result.extras.get("perf_faults_injected", 0)) + report.total())
+    return data
+
+
+def _fault_profile(profile, config: PGODriverConfig, result: PGORunResult):
+    """Apply the configured profile faults to a freshly generated profile."""
+    if config.fault_spec is None:
+        return profile
+    profile, report = apply_profile_faults(profile, config.fault_spec)
+    if report.total():
+        telemetry.count("pgo", "profile_faults_injected", report.total())
+        result.extras["profile_faults_injected"] = (
+            int(result.extras.get("profile_faults_injected", 0))
+            + report.total())
+    return profile
+
+
 def _generate_profile(variant: PGOVariant, profiling: BuildArtifacts,
                       data: PerfData, config: PGODriverConfig,
                       result: PGORunResult):
@@ -148,17 +188,25 @@ def _generate_profile(variant: PGOVariant, profiling: BuildArtifacts,
 
     Returns ``(profile, inference)`` where ``inference`` is the full-CSSPGO
     frame-inference ``(attempted, recovered)`` pair (``None`` otherwise).
+
+    When ``config.fault_spec`` is set, perf-data faults corrupt the samples
+    before profgen and profile faults corrupt the generated profile *before*
+    trimming and pre-inlining, so every downstream consumer sees them.
     """
+    data = _fault_perf(data, config, result)
     with telemetry.span("profile-generation", "stage"):
         if variant in (PGOVariant.AUTOFDO, PGOVariant.FS_AUTOFDO):
-            return generate_dwarf_profile(profiling.binary, data), None
+            profile = generate_dwarf_profile(profiling.binary, data)
+            return _fault_profile(profile, config, result), None
         if variant is PGOVariant.CSSPGO_PROBE_ONLY:
-            return generate_probe_profile(
-                profiling.binary, data, profiling.probe_meta), None
+            profile = generate_probe_profile(
+                profiling.binary, data, profiling.probe_meta)
+            return _fault_profile(profile, config, result), None
         profile, inferrer = generate_context_profile(
             profiling.binary, data, profiling.probe_meta)
     inference = (inferrer.attempted, inferrer.recovered)
     result.extras["frame_inference"] = inference
+    profile = _fault_profile(profile, config, result)
     result.raw_profile_stats = profile_stats(profile)
     if config.trim_cold_contexts:
         with telemetry.span("trim", "stage"):
@@ -171,6 +219,97 @@ def _generate_profile(variant: PGOVariant, profiling: BuildArtifacts,
         decisions = run_preinliner(profile, sizes, config.preinline)
     result.extras["preinline_decisions"] = decisions
     return profile, inference
+
+
+#: Degradation chain (graceful degradation, DESIGN.md sec. 10): each step
+#: trades optimization quality for certainty that the build completes.
+#: Probe-based variants retreat to DWARF correlation (regenerated from the
+#: same samples — checksums and probe ids no longer matter), DWARF variants
+#: retreat to a plain no-PGO build.
+_FALLBACK_NEXT = {
+    PGOVariant.CSSPGO_FULL: PGOVariant.AUTOFDO,
+    PGOVariant.CSSPGO_PROBE_ONLY: PGOVariant.AUTOFDO,
+    PGOVariant.FS_AUTOFDO: PGOVariant.NONE,
+    PGOVariant.AUTOFDO: PGOVariant.NONE,
+}
+
+
+def _profile_is_empty(profile) -> bool:
+    if profile is None:
+        return True
+    if isinstance(profile, ContextProfile):
+        return not profile.contexts
+    if isinstance(profile, FlatProfile):
+        return not profile.functions
+    return not profile  # INSTR counter dict
+
+
+def _build_optimized(source: Module, variant: PGOVariant, profile,
+                     config: PGODriverConfig, result: PGORunResult,
+                     profiling: Optional[BuildArtifacts] = None,
+                     data: Optional[PerfData] = None,
+                     imap_from_profiling=None) -> BuildArtifacts:
+    """The optimizing build, behind the degradation chain.
+
+    A profile that applies to zero functions (fully stale checksums, moved
+    GUIDs, a corrupt file) must cost optimization, never the build: retry as
+    the next variant in :data:`_FALLBACK_NEXT`, regenerating a DWARF profile
+    from the same samples when one is reachable, bottoming out at a plain
+    no-PGO build.  Every hop bumps ``pgo.fallback.<from>_to_<to>``, emits a
+    ``ProfileFallback`` remark, and is appended to
+    ``result.extras["fallback_chain"]``.
+
+    In strict mode (``config.strict_profile``) the sample loaders raise a
+    typed :class:`~repro.profile.errors.ProfileError` instead of dropping;
+    the chain re-raises it — loud failure is the point of strict.
+    """
+    chain: List[str] = []
+    current_variant, current_profile = variant, profile
+    current_imap = imap_from_profiling
+    while True:
+        try:
+            artifacts = build(source, current_variant,
+                              profile=current_profile,
+                              imap_from_profiling=current_imap,
+                              opt_config=config.opt,
+                              lower_config=config.lower,
+                              strict_profile=config.strict_profile)
+            stats = artifacts.annotation
+            usable = stats is None or stats.usable(
+                not _profile_is_empty(current_profile))
+            detail = "0 functions annotated" if not usable else ""
+        except ProfileError as exc:
+            if config.strict_profile:
+                raise
+            artifacts, usable = None, False
+            detail = f"{type(exc).__name__}: {exc}"
+        next_variant = _FALLBACK_NEXT.get(current_variant)
+        if usable or next_variant is None:
+            break
+        telemetry.count(
+            "pgo.fallback",
+            f"{current_variant.value}_to_{next_variant.value}")
+        telemetry.remark(
+            "pgo-driver", "ProfileFallback", "<module>",
+            f"profile unusable for {current_variant.value} ({detail}); "
+            f"degrading to {next_variant.value}")
+        chain.append(f"{current_variant.value}->{next_variant.value}")
+        if (next_variant.is_sampled and profiling is not None
+                and data is not None):
+            current_profile = generate_dwarf_profile(profiling.binary, data)
+        else:
+            current_profile = None
+        current_variant = next_variant
+        current_imap = None
+    if artifacts is None:
+        # Terminal variant raised in permissive mode (should not happen —
+        # DWARF/plain loads never raise): last-ditch plain build.
+        artifacts = build(source, PGOVariant.NONE, opt_config=config.opt,
+                          lower_config=config.lower)
+    if chain:
+        result.extras["fallback_chain"] = chain
+        result.extras["degraded_variant"] = current_variant.value
+    return artifacts
 
 
 def _profile_collection(binary, train_args: Sequence[int],
@@ -255,9 +394,8 @@ def _run_pgo_cycle(source: Module, variant: PGOVariant,
             result.profile = profile
             result.profiling_build = profiling
         with telemetry.span("optimizing-build", "stage"):
-            final = build(source, variant, profile=profile,
-                          imap_from_profiling=profiling.imap,
-                          opt_config=config.opt, lower_config=config.lower)
+            final = _build_optimized(source, variant, profile, config, result,
+                                     imap_from_profiling=profiling.imap)
     elif config.independent_profiling:
         # Fleet-style collection: one plain release build, profiled N times
         # independently (per-iteration jitter seeds), samples aggregated
@@ -278,8 +416,8 @@ def _run_pgo_cycle(source: Module, variant: PGOVariant,
         result.profile = profile
         result.profile_stats = profile_stats(profile)
         with telemetry.span("optimizing-build", "stage"):
-            final = build(source, variant, profile=profile,
-                          opt_config=config.opt, lower_config=config.lower)
+            final = _build_optimized(source, variant, profile, config, result,
+                                     profiling=profiling, data=data)
     else:
         # Continuous deployment: iteration 0 profiles a plain release build,
         # each following iteration profiles the binary optimized with the
@@ -316,8 +454,8 @@ def _run_pgo_cycle(source: Module, variant: PGOVariant,
         result.profile = profile
         result.profile_stats = profile_stats(profile)
         with telemetry.span("optimizing-build", "stage"):
-            final = build(source, variant, profile=profile,
-                          opt_config=config.opt, lower_config=config.lower)
+            final = _build_optimized(source, variant, profile, config, result,
+                                     profiling=profiling, data=data)
 
     # ---- 4-5: optimizing build and evaluation -----------------------------
     result.final = final

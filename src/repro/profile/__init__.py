@@ -4,6 +4,8 @@ from .context import (ContextKey, ContextTrie, Frame, base_context,
                       caller_frame, extend_context, format_context, is_prefix,
                       leaf_function, make_context, parent_context,
                       parse_context)
+from .errors import (BinaryMismatchError, ProfileError, ProfileParseError,
+                     ProfileStaleError)
 from .function_samples import ATTR_SHOULD_INLINE, FunctionSamples
 from .profiles import ContextProfile, FlatProfile
 from .stats import profile_stats
@@ -13,8 +15,10 @@ from .text_format import (dump_context_profile, dump_flat_profile,
 from .trimming import trim_cold_contexts
 
 __all__ = [
-    "ATTR_SHOULD_INLINE", "ContextKey", "ContextProfile", "ContextTrie",
-    "FlatProfile", "Frame", "FunctionSamples", "base_context", "caller_frame",
+    "ATTR_SHOULD_INLINE", "BinaryMismatchError", "ContextKey",
+    "ContextProfile", "ContextTrie", "FlatProfile", "Frame",
+    "FunctionSamples", "ProfileError", "ProfileParseError",
+    "ProfileStaleError", "base_context", "caller_frame",
     "dump_context_profile", "dump_flat_profile", "extend_context",
     "format_context", "is_prefix", "leaf_function", "load_context_profile",
     "load_flat_profile", "make_context", "parent_context", "parse_context",

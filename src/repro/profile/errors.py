@@ -1,0 +1,44 @@
+"""Typed error hierarchy for profile consumption (DESIGN.md sec. 10).
+
+Every boundary of the profile pipeline raises (strict mode) or counts
+(permissive mode) one of these instead of bare ``ValueError``/``KeyError``:
+
+* :class:`ProfileParseError` — malformed serialized profile text;
+* :class:`ProfileStaleError` — profile recorded a different CFG shape than
+  the IR it is being applied to (checksum mismatch: source drift);
+* :class:`BinaryMismatchError` — profile or sample data belongs to a
+  different build entirely (GUID/identity conflict, merged incompatible
+  perf sessions).
+
+:class:`ProfileParseError` subclasses :class:`ValueError` so pre-existing
+callers that caught ``ValueError`` around loads keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ProfileError(Exception):
+    """Base class of every profile-quality failure."""
+
+
+class ProfileParseError(ProfileError, ValueError):
+    """Serialized profile text could not be parsed.
+
+    ``line`` is the 1-based line number in the input text, when known.
+    """
+
+    def __init__(self, message: str, line: Optional[int] = None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class ProfileStaleError(ProfileError):
+    """Profile was collected from a different CFG shape (source drift)."""
+
+
+class BinaryMismatchError(ProfileError):
+    """Profile/samples come from a different binary than the one in use."""

@@ -21,13 +21,22 @@ Context profile format (one record per context)::
 Numbers after the name are total and head counts.  Body lines are
 ``key: count [callee:count ...]``; dwarf keys print as ``line.disc``,
 probe keys as bare ints.
+
+Loading has two modes (DESIGN.md sec. 10): ``strict=True`` (default) raises
+:class:`~repro.profile.errors.ProfileParseError` with the offending line
+number on the first malformed construct; ``strict=False`` skips malformed
+lines/records and tallies one ``profile.drop.*`` telemetry counter per
+discarded construct, so a truncated or bit-flipped profile degrades to "the
+parseable subset" instead of an exception.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Iterator, List, Optional, Tuple, Union
 
-from .context import ContextKey, format_context, parse_context
+from .. import telemetry
+from .context import format_context, parse_context
+from .errors import ProfileParseError
 from .function_samples import FunctionSamples
 from .profiles import ContextProfile, FlatProfile
 
@@ -65,35 +74,56 @@ def _format_samples(header: str, samples: FunctionSamples) -> List[str]:
     return lines
 
 
-def _parse_samples(name: str, header_rest: str,
-                   body_lines: List[str]) -> FunctionSamples:
+def _drop(reason: str) -> None:
+    telemetry.count("profile.drop", reason)
+
+
+def _parse_samples(name: str, header_rest: str, header_line: int,
+                   body_lines: List[Tuple[int, str]],
+                   strict: bool) -> Optional[FunctionSamples]:
+    """Parse one record; permissive mode returns None on a bad header and
+    skips (counting) bad body lines."""
     samples = FunctionSamples(name)
     # header_rest is "total:head"
-    total_text, head_text = header_rest.split(":", 1)
-    samples.total = float(total_text)
-    samples.head = float(head_text)
-    for line in body_lines:
+    try:
+        total_text, head_text = header_rest.split(":", 1)
+        samples.total = float(total_text)
+        samples.head = float(head_text)
+    except ValueError:
+        if strict:
+            raise ProfileParseError(
+                f"malformed record header counts {header_rest!r}",
+                header_line)
+        _drop("malformed_record")
+        return None
+    for lineno, line in body_lines:
         line = line.strip()
-        if line.startswith("!checksum:"):
-            samples.checksum = int(line.split(":", 1)[1].strip())
-            continue
-        if line.startswith("!attribute:"):
-            samples.attributes.add(line.split(":", 1)[1].strip())
-            continue
-        if line.startswith("!dangling:"):
-            for part in line.split(":", 1)[1].strip().split(","):
-                if part:
-                    samples.dangling.add(_parse_key(part))
-            continue
-        key_text, rest = line.split(":", 1)
-        key = _parse_key(key_text.strip())
-        fields = rest.split()
-        count = float(fields[0])
-        if count or len(fields) == 1:
-            samples.body[key] = count
-        for call_field in fields[1:]:
-            callee, target_count = call_field.rsplit(":", 1)
-            samples.add_call(key, callee, float(target_count))
+        try:
+            if line.startswith("!checksum:"):
+                samples.checksum = int(line.split(":", 1)[1].strip())
+                continue
+            if line.startswith("!attribute:"):
+                samples.attributes.add(line.split(":", 1)[1].strip())
+                continue
+            if line.startswith("!dangling:"):
+                for part in line.split(":", 1)[1].strip().split(","):
+                    if part:
+                        samples.dangling.add(_parse_key(part))
+                continue
+            key_text, rest = line.split(":", 1)
+            key = _parse_key(key_text.strip())
+            fields = rest.split()
+            count = float(fields[0])
+            if count or len(fields) == 1:
+                samples.body[key] = count
+            for call_field in fields[1:]:
+                callee, target_count = call_field.rsplit(":", 1)
+                samples.add_call(key, callee, float(target_count))
+        except (ValueError, IndexError):
+            if strict:
+                raise ProfileParseError(
+                    f"malformed body line {line!r}", lineno)
+            _drop("malformed_line")
     return samples
 
 
@@ -104,15 +134,19 @@ def dump_flat_profile(profile: FlatProfile) -> str:
     return "\n".join(lines) + "\n"
 
 
-def load_flat_profile(text: str) -> FlatProfile:
+def load_flat_profile(text: str, strict: bool = True) -> FlatProfile:
     lines = text.splitlines()
     kind = FlatProfile.KIND_DWARF
+    start = 1
     if lines and lines[0].startswith("# kind:"):
         kind = lines[0].split(":", 1)[1].strip()
         lines = lines[1:]
+        start = 2
     profile = FlatProfile(kind)
-    for name, rest, body in _records(lines):
-        profile.functions[name] = _parse_samples(name, rest, body)
+    for lineno, name, rest, body in _records(lines, start, strict):
+        samples = _parse_samples(name, rest, lineno, body, strict)
+        if samples is not None:
+            profile.functions[name] = samples
     return profile
 
 
@@ -124,40 +158,76 @@ def dump_context_profile(profile: ContextProfile) -> str:
     return "\n".join(lines) + "\n"
 
 
-def load_context_profile(text: str) -> ContextProfile:
+def load_context_profile(text: str, strict: bool = True) -> ContextProfile:
     lines = text.splitlines()
+    start = 1
     if lines and lines[0].startswith("# kind:"):
         lines = lines[1:]
+        start = 2
     profile = ContextProfile()
-    for name, rest, body in _records(lines):
-        context = parse_context(name)
-        samples = _parse_samples(context[-1][0], rest, body)
-        profile.contexts[context] = samples
+    for lineno, name, rest, body in _records(lines, start, strict):
+        try:
+            context = parse_context(name)
+        except ValueError:
+            if strict:
+                raise ProfileParseError(
+                    f"malformed context {name!r}", lineno)
+            _drop("malformed_record")
+            continue
+        samples = _parse_samples(context[-1][0], rest, lineno, body, strict)
+        if samples is not None:
+            profile.contexts[context] = samples
     return profile
 
 
-def _records(lines: List[str]):
-    """Split serialized text into (header-name, header-rest, body-lines)."""
-    current: Optional[Tuple[str, str]] = None
-    body: List[str] = []
-    for line in lines:
+def _records(lines: List[str], start: int,
+             strict: bool = True
+             ) -> Iterator[Tuple[int, str, str, List[Tuple[int, str]]]]:
+    """Split serialized text into (header-line, name, header-rest,
+    [(line-no, body-line), ...]) tuples."""
+    current: Optional[Tuple[int, str, str]] = None
+    body: List[Tuple[int, str]] = []
+    for lineno, line in enumerate(lines, start):
         if not line.strip():
             continue
         if not line.startswith(" "):
             if current is not None:
-                yield current[0], current[1], body
+                yield current[0], current[1], current[2], body
             if line.startswith("["):
+                if "]" not in line:
+                    if strict:
+                        raise ProfileParseError(
+                            f"unterminated context header {line!r}", lineno)
+                    _drop("malformed_record")
+                    current = None
+                    body = []
+                    continue
                 name, rest = line.rsplit("]", 1)
                 name += "]"
                 rest = rest.lstrip(":")
-            else:
+            elif ":" in line:
                 name, rest = line.split(":", 1)
-            current = (name, rest)
+            else:
+                if strict:
+                    raise ProfileParseError(
+                        f"malformed record header {line!r}", lineno)
+                _drop("malformed_record")
+                current = None
+                body = []
+                continue
+            current = (lineno, name, rest)
             body = []
         else:
-            body.append(line)
+            if current is None:
+                # Body line with no record to attach to (truncation damage).
+                if strict:
+                    raise ProfileParseError(
+                        f"body line outside any record: {line!r}", lineno)
+                _drop("orphan_line")
+                continue
+            body.append((lineno, line))
     if current is not None:
-        yield current[0], current[1], body
+        yield current[0], current[1], current[2], body
 
 
 def profile_size_bytes(profile: Union[FlatProfile, ContextProfile]) -> int:
