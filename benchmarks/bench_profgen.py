@@ -170,9 +170,7 @@ def check_contract(report) -> int:
     return failures
 
 
-def check_baseline(report, baseline_path: str, max_regression: float) -> int:
-    with open(baseline_path) as handle:
-        baseline = json.load(handle)
+def check_baseline(report, baseline, max_regression: float) -> int:
     failures = 0
     for name, entry in report["modes"].items():
         base = baseline["modes"].get(name)
@@ -185,6 +183,37 @@ def check_baseline(report, baseline_path: str, max_regression: float) -> int:
         print(f"  baseline {name:14s} samples/sec ratio {ratio:5.2f} "
               f"(limit {max_regression:.1f}x) {status}")
     return failures
+
+
+def emit_bench_events(report, path: str, baseline) -> None:
+    """Append one ``bench_point`` event per mode to a JSONL event log, so
+    ``repro report`` folds benchmark regressions into its SLO scorecard
+    (the ``bench-regression`` rule keys off the ``regression`` field)."""
+    from repro import obs
+    log = obs.EventLog()  # in-memory: validate first, then append raw lines
+    for name, entry in report["modes"].items():
+        fields = {
+            "bench": "profgen",
+            "metric": "fast_samples_per_sec",
+            "value": entry["fast_samples_per_sec"],
+            "mode": name,
+            "speedup": entry["speedup"],
+        }
+        base = (baseline or {}).get("modes", {}).get(name)
+        if base:
+            fields["baseline"] = base["fast_samples_per_sec"]
+            fields["regression"] = (base["fast_samples_per_sec"]
+                                    / entry["fast_samples_per_sec"]) - 1.0
+        log.emit("bench_point", **fields)
+    start_seq = 0
+    if os.path.exists(path):  # continue the sequence of an existing run log
+        existing, _ = obs.read_event_log(path)
+        start_seq = max((event.seq for event in existing), default=-1) + 1
+    with open(path, "a") as handle:
+        for event in log.events:
+            record = event.to_dict()
+            record["seq"] = event.seq + start_seq
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
 
 
 def main(argv=None) -> int:
@@ -204,7 +233,15 @@ def main(argv=None) -> int:
                              "this factor")
     parser.add_argument("--check", action="store_true",
                         help="enforce the fast-vs-legacy speedup contract")
+    parser.add_argument("--events-out", default=None, metavar="PATH",
+                        help="append bench_point events to this JSONL event "
+                             "log (see repro report)")
     args = parser.parse_args(argv)
+
+    baseline = None
+    if args.baseline:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
 
     report, mismatches = run_bench(args.requests, args.period, args.repeats)
     with open(args.out, "w") as handle:
@@ -230,12 +267,15 @@ def main(argv=None) -> int:
           f"{cache['context_intern_hits']} intern hits)")
     print(f"wrote {args.out}")
 
+    if args.events_out:
+        emit_bench_events(report, args.events_out, baseline)
+        print(f"wrote bench events to {args.events_out}")
+
     failures = mismatches
     if args.check:
         failures += check_contract(report)
     if args.baseline:
-        failures += check_baseline(report, args.baseline,
-                                   args.max_regression)
+        failures += check_baseline(report, baseline, args.max_regression)
     return 1 if failures else 0
 
 

@@ -14,6 +14,7 @@ Quickstart::
 """
 
 from . import telemetry
+from . import obs
 from .pgo import (BuildArtifacts, PGODriverConfig, PGORunResult, PGOVariant,
                   build, compare_variants, measure_run, run_pgo,
                   speedup_over)
@@ -24,5 +25,6 @@ __version__ = "1.0.0"
 __all__ = [
     "BuildArtifacts", "PGODriverConfig", "PGORunResult", "PGOVariant",
     "WorkloadSpec", "build", "build_workload", "compare_variants",
-    "measure_run", "run_pgo", "speedup_over", "telemetry", "__version__",
+    "measure_run", "obs", "run_pgo", "speedup_over", "telemetry",
+    "__version__",
 ]

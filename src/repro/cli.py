@@ -5,9 +5,12 @@ Commands:
 * ``compare`` — run the PGO variant comparison on a named or generated
   workload and print the Fig. 6/7-style table;
 * ``quality`` — run the Table I profile-quality analysis;
-* ``profile`` — collect and dump a CSSPGO context profile (text format);
+* ``profile`` — collect and dump a CSSPGO context profile (text format),
+  plus its provenance manifest when written to a file;
 * ``stats`` — run one PGO cycle with telemetry forced on and print the
   statistics report (LLVM ``-stats`` / ``-time-passes`` style);
+* ``report`` — render a ``--events-out`` JSONL log as the terminal/HTML
+  observability dashboard with the SLO scorecard;
 * ``workloads`` — list the named workloads.
 
 Global telemetry flags (usable with any command):
@@ -16,7 +19,9 @@ Global telemetry flags (usable with any command):
 * ``--trace-out PATH`` — write a Chrome trace-event JSON of the run
   (load it in ``chrome://tracing`` / Perfetto, like ``-ftime-trace``);
 * ``--remarks-out PATH`` — write the optimization-remarks JSON
-  (``-fsave-optimization-record`` style).
+  (``-fsave-optimization-record`` style);
+* ``--events-out PATH`` — write the structured observability event log
+  (JSONL; render with ``repro report``).
 """
 
 from __future__ import annotations
@@ -25,8 +30,8 @@ import argparse
 import sys
 from typing import List, Optional
 
-from . import (PGODriverConfig, PGOVariant, build, compare_variants, run_pgo,
-               speedup_over, telemetry)
+from . import (PGODriverConfig, PGOVariant, build, compare_variants, obs,
+               run_pgo, speedup_over, telemetry)
 from .faults import parse_fault_spec
 from .hw import PMUConfig, execute, make_pmu
 from .telemetry import render_stats_report, write_chrome_trace, write_remarks
@@ -114,20 +119,41 @@ def cmd_quality(args) -> int:
 
 
 def cmd_profile(args) -> int:
+    import time
+
     from .correlate import generate_context_profile
     from .profile import dump_context_profile
+    from .profile.stats import profile_stats
     module, requests = _resolve_workload(args.workload, args.seed)
     artifacts = build(module, PGOVariant.CSSPGO_FULL)
     pmu = make_pmu(PMUConfig(period=args.period))
     run = execute(artifacts.binary, [requests], pmu=pmu)
+    data = pmu.finish(run.instructions_retired)
     profile, inferrer = generate_context_profile(
-        artifacts.binary, pmu.finish(run.instructions_retired),
-        artifacts.probe_meta)
+        artifacts.binary, data, artifacts.probe_meta)
     text = dump_context_profile(profile)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(text)
         print(f"wrote {len(profile.contexts)} contexts to {args.output}")
+        # Profiles that leave the process carry their provenance with them:
+        # repro validate --manifest audits the pair later.
+        samples = len(data)
+        unique = len(data.aggregated()) if samples else 0
+        manifest = obs.ProfileManifest(
+            variant=PGOVariant.CSSPGO_FULL.value, kind="context",
+            binary_identity=artifacts.binary.identity(),
+            perf={"samples": samples, "unique_samples": unique,
+                  "dedup_ratio": unique / samples if samples else 0.0,
+                  "period": data.period, "lbr_depth": data.lbr_depth,
+                  "pebs": data.pebs,
+                  "instructions_retired": data.instructions_retired,
+                  "binary_id": data.binary_id},
+            profile_stats=profile_stats(profile),
+            created_at=time.time())
+        manifest_path = obs.manifest_path_for(args.output)
+        manifest.write(manifest_path)
+        print(f"wrote provenance manifest to {manifest_path}")
     else:
         sys.stdout.write(text)
     return 0
@@ -140,10 +166,16 @@ def cmd_validate(args) -> int:
     workload the same way ``repro profile`` built it, and report how much of
     the profile would still apply — checksum match rate plus unknown-GUID
     count — with a pass/fail exit code.
+
+    With ``--manifest PATH`` (DESIGN.md sec. 11) the profile is also
+    cross-checked against its provenance manifest: the profiled binary's
+    identity must match the fresh build, the manifest's drop accounting must
+    balance, and the recorded kind/record count must describe the profile
+    actually on disk.
     """
     from .annotate import validate_profile
-    from .profile import (ProfileParseError, load_context_profile,
-                          load_flat_profile)
+    from .profile import (ContextProfile, ProfileParseError,
+                          load_context_profile, load_flat_profile)
     try:
         with open(args.profile_file) as handle:
             text = handle.read()
@@ -168,12 +200,96 @@ def cmd_validate(args) -> int:
           f"({len(report.matched)}/{report.checked} checked)")
     print(f"  unknown functions   {len(report.unknown)}")
     print(f"  unchecked           {len(report.unchecked)}")
+    if args.manifest:
+        try:
+            manifest = obs.ProfileManifest.read(args.manifest)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read manifest: {exc}", file=sys.stderr)
+            return 2
+        identity = artifacts.binary.identity()
+        is_context = isinstance(profile, ContextProfile)
+        records = len(profile.contexts if is_context else profile.functions)
+        recorded = manifest.profile_stats.get("records")
+        checks = [
+            ("binary identity", manifest.binary_identity == identity,
+             f"{manifest.binary_identity} vs build {identity}"),
+            ("drop accounting", manifest.drop_accounting_consistent(),
+             "used + dropped == samples"),
+            ("profile kind",
+             (manifest.kind == "context") == is_context,
+             f"manifest says {manifest.kind!r}"),
+            ("record count",
+             recorded is None or int(recorded) == records,
+             f"manifest says {recorded}, profile has {records}"),
+        ]
+        print(f"  manifest {args.manifest}:")
+        for name, passed, detail in checks:
+            mark = "ok" if passed else "MISMATCH"
+            print(f"    {name:17s} {mark:8s} ({detail})")
+        ok = ok and all(passed for _name, passed, _detail in checks)
     print(f"  verdict             {'PASS' if ok else 'FAIL'}")
     if report.mismatched and not ok:
         shown = ", ".join(report.mismatched[:5])
         print(f"  stale: {shown}"
               + (" ..." if len(report.mismatched) > 5 else ""))
     return 0 if ok else 1
+
+
+def cmd_report(args) -> int:
+    """Render an event log (``--events-out``) as the observability report.
+
+    Prints the terminal dashboard; ``--html`` additionally writes the
+    single-file HTML dashboard.  ``--check`` turns the SLO scorecard into a
+    CI gate: exit 1 when any rule fails.  Every evaluation is appended back
+    to the log as ``slo_evaluated`` events, so the log stays the one place
+    the run's whole story lives.
+    """
+    import json
+    try:
+        events, malformed = obs.read_event_log(args.events_file)
+    except OSError as exc:
+        print(f"error: cannot read event log: {exc}", file=sys.stderr)
+        return 2
+    rules = None
+    if args.slo:
+        try:
+            with open(args.slo) as handle:
+                rules = obs.parse_rules(handle.read())
+        except (OSError, ValueError) as exc:
+            print(f"error: bad SLO rules: {exc}", file=sys.stderr)
+            return 2
+    report = obs.build_report(events, rules=rules, malformed=malformed)
+    print(obs.render_text(report))
+    if args.html:
+        try:
+            with open(args.html, "w") as handle:
+                handle.write(obs.render_html(report))
+        except OSError as exc:
+            print(f"error: cannot write dashboard: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote HTML dashboard to {args.html}", file=sys.stderr)
+    health = report["health"]
+    try:
+        seq = max((e.seq for e in events), default=-1) + 1
+        ts = events[-1].ts if events else 0.0
+        with open(args.events_file, "a") as handle:
+            for result in health["rules"]:
+                record = {"type": "slo_evaluated", "seq": seq, "ts": ts,
+                          "rule": result["rule"],
+                          "verdict": result["verdict"],
+                          "value": result["value"]}
+                json.dump(record, handle, separators=(",", ":"),
+                          sort_keys=True)
+                handle.write("\n")
+                seq += 1
+    except OSError:
+        pass  # read-only log location: the report itself still stands
+    if args.check and health["worst"] == "fail":
+        failed = [r["rule"] for r in health["rules"]
+                  if r["verdict"] == "fail"]
+        print(f"SLO check FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def cmd_stats(args) -> int:
@@ -219,6 +335,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="write a Chrome trace-event JSON of the run")
     parser.add_argument("--remarks-out", default=None, metavar="PATH",
                         help="write optimization remarks JSON")
+    parser.add_argument("--events-out", default=None, metavar="PATH",
+                        help="write the structured observability event log "
+                             "(JSONL; render with 'repro report')")
     parser.add_argument("--strict-profile", action="store_true",
                         help="raise on stale/malformed profiles instead of "
                              "the default drop-and-degrade")
@@ -259,7 +378,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--max-unknown", type=int, default=None, metavar="N",
                    help="fail when more than N profile functions are unknown "
                         "to the binary (default: no limit)")
+    p.add_argument("--manifest", default=None, metavar="PATH",
+                   help="cross-check the profile against its provenance "
+                        "manifest (binary identity, drop accounting, "
+                        "kind/record count)")
     p.set_defaults(func=cmd_validate)
+    p = sub.add_parser(
+        "report", help="render an event log as the observability dashboard")
+    p.add_argument("events_file", help="JSONL event log (--events-out)")
+    p.add_argument("--html", default=None, metavar="PATH",
+                   help="also write a single-file HTML dashboard")
+    p.add_argument("--slo", default=None, metavar="FILE",
+                   help="SLO rule file overriding the default scorecard "
+                        "(one 'name: indicator op warn/fail' per line)")
+    p.add_argument("--check", action="store_true",
+                   help="exit 1 when any SLO rule fails (CI gate)")
+    p.set_defaults(func=cmd_report)
     p = sub.add_parser(
         "stats", help="run one PGO cycle and print its telemetry report")
     p.add_argument("workload")
@@ -269,17 +403,37 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     args = parser.parse_args(argv)
     want_stats = args.stats or getattr(args, "force_stats", False)
-    collect = want_stats or args.trace_out or args.remarks_out
+    collect = (want_stats or args.trace_out or args.remarks_out
+               or args.events_out)
     if not collect:
         return _run_command(args)
 
     session = telemetry.enable()
+    obs_session = None
+    if args.events_out:
+        try:
+            obs_session = obs.install(
+                obs.Observability(log=obs.EventLog(args.events_out)))
+        except OSError as exc:
+            print(f"error: cannot open event log: {exc}", file=sys.stderr)
+            telemetry.disable()
+            return 2
     try:
         with telemetry.span(f"repro {args.command}", "cli",
                             command=args.command):
             rc = _run_command(args)
+        if obs_session is not None:
+            # Final metrics point + the completed span tree, then the log is
+            # a self-contained record of the run.
+            obs_session.snapshot("final")
+            obs_session.export_spans()
     finally:
         telemetry.disable()
+        if obs_session is not None:
+            obs_session.close()
+            obs.uninstall()
+            print(f"wrote {len(obs_session.log.events)} events to "
+                  f"{args.events_out}", file=sys.stderr)
     try:
         if args.trace_out:
             write_chrome_trace(session, args.trace_out)

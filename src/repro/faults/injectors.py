@@ -28,6 +28,7 @@ import random
 from collections import Counter
 from typing import List, Optional, Tuple, Union
 
+from .. import obs
 from ..codegen.binary import TEXT_BASE
 from ..hw.perf_data import PerfData, PerfSample
 from ..profile.profiles import ContextProfile, FlatProfile
@@ -386,6 +387,15 @@ def clone_profile(profile: Profile) -> Profile:
     return copy
 
 
+def _emit_injected(kind: str, report: InjectionReport,
+                   total_before: int) -> None:
+    """Record what this application pass actually corrupted (the report may
+    arrive pre-populated from an earlier pass, so emit the delta)."""
+    delta = report.total() - total_before
+    if delta:
+        obs.emit("faults_injected", kind=kind, count=delta)
+
+
 def apply_perf_faults(data: PerfData, spec: Optional[FaultSpec],
                       report: Optional[InjectionReport] = None
                       ) -> Tuple[PerfData, InjectionReport]:
@@ -397,9 +407,11 @@ def apply_perf_faults(data: PerfData, spec: Optional[FaultSpec],
     if not entries:
         return data, report
     data = clone_perf_data(data)
+    total_before = report.total()
     for name, intensity in entries:
         INJECTORS[name].apply_perf(spec.rng_for(name), data, intensity,
                                    report)
+    _emit_injected("perf", report, total_before)
     return data, report
 
 
@@ -414,9 +426,11 @@ def apply_profile_faults(profile: Profile, spec: Optional[FaultSpec],
     if not entries:
         return profile, report
     profile = clone_profile(profile)
+    total_before = report.total()
     for name, intensity in entries:
         INJECTORS[name].apply_profile(spec.rng_for(name), profile, intensity,
                                       report)
+    _emit_injected("profile", report, total_before)
     return profile, report
 
 
@@ -427,7 +441,9 @@ def apply_text_faults(text: str, spec: Optional[FaultSpec],
     report = report if report is not None else InjectionReport()
     if spec is None:
         return text, report
+    total_before = report.total()
     for name, intensity in spec.entries_of_kind("text"):
         text = INJECTORS[name].apply_text(spec.rng_for(name), text,
                                           intensity, report)
+    _emit_injected("text", report, total_before)
     return text, report

@@ -1,0 +1,361 @@
+"""``repro report``: turn an event log into a terminal + HTML dashboard.
+
+The report is computed once (:func:`build_report`) and rendered twice:
+:func:`render_text` for the terminal, :func:`render_html` for a
+self-contained single-file dashboard (inline CSS, inline SVG sparklines,
+no external assets — it must open from a CI artifact tab).
+
+Sections:
+
+* **runs** — every PGO cycle seen, with eval cycles and degradation state;
+* **stages** — per-stage wall time aggregated from exported telemetry spans
+  (the ``-time-passes`` view, durable);
+* **series** — dropped samples / fallback hops / unwound samples across
+  the run's metrics snapshots (the rolling time-series);
+* **provenance** — one row per generated profile's manifest;
+* **SLO scorecard** — verdicts from :mod:`repro.obs.health`.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Any, Dict, List, Optional
+
+from .events import Event
+from .health import FAIL, PASS, SKIP, WARN, SLORule, evaluate_health
+
+
+def _aggregate_stage_spans(events: List[Event]) -> List[Dict[str, Any]]:
+    totals: Dict[tuple, List[float]] = {}
+    for event in events:
+        if event.type != "span":
+            continue
+        key = (event.get("category") or "span", event.get("name"))
+        entry = totals.setdefault(key, [0.0, 0])
+        entry[0] += float(event.get("duration_us", 0.0)) / 1e6
+        entry[1] += 1
+    rows = [{"category": category, "name": name,
+             "total_s": total, "runs": int(runs),
+             "mean_us": total * 1e6 / runs if runs else 0.0}
+            for (category, name), (total, runs) in totals.items()]
+    rows.sort(key=lambda row: -row["total_s"])
+    return rows
+
+
+def _prefix_total(totals: Dict[str, float], prefix: str) -> float:
+    return sum(value for name, value in totals.items()
+               if name.startswith(prefix))
+
+
+def _series(events: List[Event]) -> List[Dict[str, Any]]:
+    points = []
+    for event in events:
+        if event.type != "metrics_snapshot":
+            continue
+        totals = dict(event.get("totals") or {})
+        points.append({
+            "label": event.get("label", ""),
+            "ts": event.ts,
+            "dropped": (_prefix_total(totals, "correlate.drop.")
+                        + _prefix_total(totals, "annotate.drop.")
+                        + _prefix_total(totals, "profile.drop.")),
+            "fallbacks": _prefix_total(totals, "pgo.fallback."),
+            "samples": totals.get("correlate.samples_unwound", 0.0),
+            "cache_hits": _prefix_total(totals, "correlate.cache."),
+        })
+    return points
+
+
+def build_report(events: List[Event],
+                 rules: Optional[List[SLORule]] = None,
+                 malformed: int = 0) -> Dict[str, Any]:
+    by_type: Dict[str, int] = {}
+    for event in events:
+        by_type[event.type] = by_type.get(event.type, 0) + 1
+    timestamps = [event.ts for event in events]
+    health = evaluate_health(events, rules)
+    return {
+        "meta": {
+            "events": len(events),
+            "malformed": malformed,
+            "by_type": dict(sorted(by_type.items())),
+            "start_ts": min(timestamps) if timestamps else None,
+            "end_ts": max(timestamps) if timestamps else None,
+        },
+        "runs": [event.to_dict() for event in events
+                 if event.type == "run_finished"],
+        "fallbacks": [event.to_dict() for event in events
+                      if event.type == "fallback_taken"],
+        "stages": _aggregate_stage_spans(events),
+        "series": _series(events),
+        "provenance": [event.get("manifest") for event in events
+                       if event.type == "profile_generated"
+                       and event.get("manifest") is not None],
+        "health": health.to_dict(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Terminal rendering
+# ---------------------------------------------------------------------------
+
+_VERDICT_MARK = {PASS: "ok  ", WARN: "WARN", FAIL: "FAIL", SKIP: "-   "}
+
+
+def render_text(report: Dict[str, Any]) -> str:
+    lines: List[str] = []
+    meta = report["meta"]
+    lines.append("=== Profile-pipeline observability report ===")
+    lines.append(f"  {meta['events']} events"
+                 + (f" ({meta['malformed']} malformed lines skipped)"
+                    if meta["malformed"] else ""))
+    lines.append("  " + ", ".join(f"{name} x{count}" for name, count
+                                  in meta["by_type"].items()))
+    lines.append("")
+
+    if report["runs"]:
+        lines.append("--- runs ---")
+        for run in report["runs"]:
+            cycles = run.get("cycles")
+            line = f"  {run.get('variant', '?'):12s}"
+            if cycles is not None:
+                line += f" cycles {cycles:14,.0f}"
+            if run.get("degraded_to"):
+                line += f"  degraded -> {run['degraded_to']}"
+            lines.append(line)
+        lines.append("")
+
+    if report["fallbacks"]:
+        lines.append("--- fallbacks ---")
+        for hop in report["fallbacks"]:
+            lines.append(f"  {hop.get('from_variant')} -> "
+                         f"{hop.get('to_variant')}  ({hop.get('reason')})")
+        lines.append("")
+
+    if report["stages"]:
+        lines.append("--- stage timing (from spans) ---")
+        lines.append(f"  {'wall (s)':>10s} {'runs':>5s}  stage")
+        for row in report["stages"]:
+            lines.append(f"  {row['total_s']:10.4f} {row['runs']:5d}  "
+                         f"{row['category']}:{row['name']}")
+        lines.append("")
+
+    if report["series"]:
+        lines.append("--- metric series (cumulative per snapshot) ---")
+        lines.append(f"  {'samples':>10s} {'dropped':>8s} {'fallbacks':>9s}"
+                     f"  label")
+        for point in report["series"]:
+            lines.append(f"  {point['samples']:10,.0f} "
+                         f"{point['dropped']:8,.0f} "
+                         f"{point['fallbacks']:9,.0f}  {point['label']}")
+        lines.append("")
+
+    if report["provenance"]:
+        lines.append("--- provenance (one manifest per generated profile) ---")
+        for manifest in report["provenance"]:
+            perf = manifest.get("perf") or {}
+            quality = manifest.get("quality") or {}
+            line = (f"  {manifest.get('variant', '?'):12s} "
+                    f"{manifest.get('kind', '?'):8s} "
+                    f"binary={manifest.get('binary_identity') or '-'}")
+            if perf.get("samples") is not None:
+                line += (f"  samples={perf['samples']:,}"
+                         f" (unique {perf.get('unique_samples', 0):,})")
+            if quality.get("trim_overlap") is not None:
+                line += f"  trim-overlap={quality['trim_overlap']:.4f}"
+            if manifest.get("fallbacks"):
+                line += f"  fallbacks={len(manifest['fallbacks'])}"
+            lines.append(line)
+        lines.append("")
+
+    health = report["health"]
+    lines.append(f"--- SLO scorecard (worst: {health['worst']}) ---")
+    for result in health["rules"]:
+        value = result["value"]
+        shown = f"{value:.4f}" if value is not None else "no data"
+        lines.append(f"  [{_VERDICT_MARK[result['verdict']]}] "
+                     f"{result['spec']:44s} value={shown}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# HTML rendering
+# ---------------------------------------------------------------------------
+
+#: Status colors (icon + label always accompany them — color never carries
+#: the verdict alone) and chart tokens; light/dark via CSS custom properties.
+_CSS = """
+.obs-root { color-scheme: light;
+  --surface-1: #fcfcfb; --surface-2: #f1f0ee;
+  --text-primary: #0b0b0b; --text-secondary: #52514e;
+  --series-1: #2a78d6; --series-2: #eb6834; --series-3: #1baf7a;
+  --status-good: #0ca30c; --status-warning: #fab219;
+  --status-serious: #ec835a; --status-critical: #d03b3b;
+  --grid: #d8d7d3;
+  font: 14px/1.5 system-ui, sans-serif;
+  background: var(--surface-1); color: var(--text-primary);
+  max-width: 1060px; margin: 0 auto; padding: 24px; }
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .obs-root { color-scheme: dark;
+    --surface-1: #1a1a19; --surface-2: #242423;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7;
+    --series-1: #3987e5; --series-2: #d95926; --series-3: #199e70;
+    --grid: #3a3a38; } }
+.obs-root h1 { font-size: 20px; margin: 0 0 4px; }
+.obs-root h2 { font-size: 15px; margin: 28px 0 8px; }
+.obs-root .sub { color: var(--text-secondary); margin: 0 0 16px; }
+.obs-root table { border-collapse: collapse; width: 100%; }
+.obs-root th { text-align: left; color: var(--text-secondary);
+  font-weight: 600; border-bottom: 1px solid var(--grid); padding: 4px 10px; }
+.obs-root td { padding: 4px 10px; border-bottom: 1px solid var(--grid); }
+.obs-root td.num, .obs-root th.num { text-align: right;
+  font-variant-numeric: tabular-nums; }
+.obs-root .bar { height: 4px; border-radius: 2px;
+  background: var(--series-1); min-width: 2px; }
+.obs-root .verdict { font-weight: 600; white-space: nowrap; }
+.obs-root .verdict.pass { color: var(--status-good); }
+.obs-root .verdict.warn { color: var(--status-warning); }
+.obs-root .verdict.fail { color: var(--status-critical); }
+.obs-root .verdict.skip { color: var(--text-secondary); }
+.obs-root .cards { display: flex; gap: 12px; flex-wrap: wrap; }
+.obs-root .card { background: var(--surface-2); border-radius: 8px;
+  padding: 12px 16px; min-width: 180px; }
+.obs-root .card .v { font-size: 22px; font-weight: 650;
+  font-variant-numeric: tabular-nums; }
+.obs-root .card .k { color: var(--text-secondary); font-size: 12px; }
+.obs-root svg text { fill: var(--text-secondary); font-size: 10px; }
+"""
+
+
+def _esc(value: Any) -> str:
+    return _html.escape(str(value))
+
+
+def _sparkline(values: List[float], width: int = 220, height: int = 44,
+               color: str = "var(--series-1)") -> str:
+    """Inline SVG line sparkline for one series (no legend needed: the
+    surrounding card names it)."""
+    if not values:
+        return ""
+    if len(values) == 1:
+        values = values * 2
+    top, bottom = max(values), min(values)
+    span = (top - bottom) or 1.0
+    step = (width - 8) / (len(values) - 1)
+    points = " ".join(
+        f"{4 + i * step:.1f},{4 + (height - 8) * (1 - (v - bottom) / span):.1f}"
+        for i, v in enumerate(values))
+    return (f'<svg width="{width}" height="{height}" role="img" '
+            f'aria-label="series">'
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="2" stroke-linejoin="round" '
+            f'stroke-linecap="round"/></svg>')
+
+
+_VERDICT_ICON = {PASS: "✓ pass", WARN: "⚠ warn",
+                 FAIL: "✗ fail", SKIP: "– skip"}
+
+
+def render_html(report: Dict[str, Any], title: str = "repro report") -> str:
+    out: List[str] = []
+    add = out.append
+    meta = report["meta"]
+    health = report["health"]
+    add("<!DOCTYPE html><html><head><meta charset='utf-8'>")
+    add(f"<title>{_esc(title)}</title>")
+    add(f"<style>{_CSS}</style></head><body class='obs-root'>")
+    add(f"<h1>{_esc(title)}</h1>")
+    add(f"<p class='sub'>{meta['events']} events &middot; worst SLO verdict: "
+        f"<span class='verdict {health['worst']}'>"
+        f"{_VERDICT_ICON.get(health['worst'], health['worst'])}</span></p>")
+
+    # Headline cards: totals from the last snapshot-derived series point.
+    if report["series"]:
+        last = report["series"][-1]
+        add("<div class='cards'>")
+        for key, label in (("samples", "samples unwound"),
+                           ("dropped", "samples dropped"),
+                           ("fallbacks", "fallback hops"),
+                           ("cache_hits", "cache events")):
+            add(f"<div class='card'><div class='v'>{last[key]:,.0f}</div>"
+                f"<div class='k'>{_esc(label)}</div></div>")
+        add("</div>")
+
+    add(f"<h2>SLO scorecard</h2><table><tr><th>rule</th><th>spec</th>"
+        f"<th class='num'>value</th><th>verdict</th></tr>")
+    for result in health["rules"]:
+        value = result["value"]
+        shown = f"{value:.4f}" if value is not None else "no data"
+        add(f"<tr><td>{_esc(result['rule'])}</td>"
+            f"<td>{_esc(result['spec'])}</td>"
+            f"<td class='num'>{_esc(shown)}</td>"
+            f"<td><span class='verdict {result['verdict']}'>"
+            f"{_VERDICT_ICON[result['verdict']]}</span></td></tr>")
+    add("</table>")
+
+    if report["series"]:
+        add("<h2>Metric series (cumulative per snapshot)</h2>")
+        add("<div class='cards'>")
+        for key, label in (("dropped", "dropped samples"),
+                           ("fallbacks", "fallback hops"),
+                           ("samples", "samples unwound")):
+            values = [point[key] for point in report["series"]]
+            add(f"<div class='card'><div class='k'>{_esc(label)}</div>"
+                f"{_sparkline(values)}"
+                f"<div class='v'>{values[-1]:,.0f}</div></div>")
+        add("</div>")
+
+    if report["stages"]:
+        add("<h2>Stage timing</h2><table><tr><th>stage</th>"
+            "<th class='num'>wall (s)</th><th class='num'>runs</th>"
+            "<th></th></tr>")
+        longest = max(row["total_s"] for row in report["stages"]) or 1.0
+        for row in report["stages"]:
+            width = max(2, int(160 * row["total_s"] / longest))
+            add(f"<tr><td>{_esc(row['category'])}:{_esc(row['name'])}</td>"
+                f"<td class='num'>{row['total_s']:.4f}</td>"
+                f"<td class='num'>{row['runs']}</td>"
+                f"<td><div class='bar' style='width:{width}px'></div></td>"
+                f"</tr>")
+        add("</table>")
+
+    if report["runs"] or report["fallbacks"]:
+        add("<h2>Runs</h2><table><tr><th>variant</th>"
+            "<th class='num'>eval cycles</th><th>degradation</th></tr>")
+        for run in report["runs"]:
+            cycles = run.get("cycles")
+            cycles_text = f"{cycles:,.0f}" if cycles is not None else "-"
+            add(f"<tr><td>{_esc(run.get('variant', '?'))}</td>"
+                f"<td class='num'>{cycles_text}</td>"
+                f"<td>{_esc(run.get('degraded_to') or '-')}</td></tr>")
+        add("</table>")
+        if report["fallbacks"]:
+            add("<table><tr><th>fallback</th><th>reason</th></tr>")
+            for hop in report["fallbacks"]:
+                add(f"<tr><td>{_esc(hop.get('from_variant'))} &rarr; "
+                    f"{_esc(hop.get('to_variant'))}</td>"
+                    f"<td>{_esc(hop.get('reason'))}</td></tr>")
+            add("</table>")
+
+    if report["provenance"]:
+        add("<h2>Provenance</h2><table><tr><th>variant</th><th>kind</th>"
+            "<th>binary</th><th class='num'>samples</th>"
+            "<th class='num'>unique</th><th class='num'>trim overlap</th>"
+            "<th class='num'>fallbacks</th></tr>")
+        for manifest in report["provenance"]:
+            perf = manifest.get("perf") or {}
+            quality = manifest.get("quality") or {}
+            overlap = quality.get("trim_overlap")
+            add(f"<tr><td>{_esc(manifest.get('variant', '?'))}</td>"
+                f"<td>{_esc(manifest.get('kind', '?'))}</td>"
+                f"<td>{_esc(manifest.get('binary_identity') or '-')}</td>"
+                f"<td class='num'>{perf.get('samples', 0):,}</td>"
+                f"<td class='num'>{perf.get('unique_samples', 0):,}</td>"
+                f"<td class='num'>"
+                + (f"{overlap:.4f}" if overlap is not None else "-")
+                + f"</td><td class='num'>"
+                  f"{len(manifest.get('fallbacks') or [])}</td></tr>")
+        add("</table>")
+
+    add("</body></html>")
+    return "".join(out)

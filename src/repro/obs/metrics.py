@@ -1,0 +1,192 @@
+"""Metrics registry: labelled counters/gauges/histograms with rolling
+time-series snapshots, bridged from :mod:`repro.telemetry`.
+
+Naming convention (DESIGN.md sec. 11): dotted lowercase paths,
+``<component>.<subject>[.<detail>]`` — e.g. ``correlate.drop.empty_lbr``,
+``pgo.fallback.csspgo_to_autofdo``, ``stage.duration_us``.  Telemetry
+counters keyed ``(component, name)`` bridge 1:1 to the metric
+``f"{component}.{name}"``, so every statistic from the existing pipeline
+(drop accounting, cache hits, fallback hops) gets a durable series without
+touching its producer.
+
+The bridge **re-enumerates the session's counters on every sync**.  This is
+deliberate and load-bearing: many counters are lazily created (the
+``correlate.cache.*`` family only exists after the first memoized profgen
+run), so any design that fixes the counter set at first export would
+silently omit them from later snapshots — the exporter-plumbing bug class
+this module is built not to have.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..telemetry.core import TelemetrySession
+
+#: A metric instance is identified by name + sorted label items.
+MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Dict[str, str]) -> MetricKey:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def format_key(key: MetricKey) -> str:
+    """Stable flat spelling: ``name{a=1,b=2}`` (no braces when unlabelled)."""
+    name, labels = key
+    if not labels:
+        return name
+    body = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{body}}}"
+
+
+class Histogram:
+    """Streaming distribution summary: count/sum/min/max + log2 buckets."""
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        #: bucket exponent -> count; value v lands in bucket
+        #: ``ceil(log2(v))`` clamped at 0 (sub-1 values share bucket 0).
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        exponent = 0
+        v = value
+        while v > 1.0:
+            v /= 2.0
+            exponent += 1
+        self.buckets[exponent] = self.buckets.get(exponent, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"count": self.count, "sum": self.total, "min": self.min,
+                "max": self.max, "mean": self.mean,
+                "buckets": {str(k): v for k, v in sorted(self.buckets.items())}}
+
+    def __repr__(self) -> str:
+        return f"<Histogram n={self.count} mean={self.mean:.1f}>"
+
+
+class SeriesPoint:
+    """One rolling snapshot: every counter/gauge value at one instant."""
+
+    __slots__ = ("ts", "label", "values")
+
+    def __init__(self, ts: float, label: str,
+                 values: Dict[str, float]):
+        self.ts = ts
+        self.label = label
+        self.values = values
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"ts": self.ts, "label": self.label, "values": self.values}
+
+    def __repr__(self) -> str:
+        return f"<SeriesPoint {self.label!r} {len(self.values)} values>"
+
+
+class MetricsRegistry:
+    """Process-local metric store; snapshots build the time-series."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[MetricKey, float] = {}
+        self._gauges: Dict[MetricKey, float] = {}
+        self._histograms: Dict[MetricKey, Histogram] = {}
+        self.series: List[SeriesPoint] = []
+        #: Spans already folded into histograms by :meth:`sync_telemetry`
+        #: (sync must be idempotent over a growing session).
+        self._spans_synced = 0
+
+    # -- write API ----------------------------------------------------------
+    def inc(self, name: str, n: float = 1.0, /, **labels: str) -> None:
+        key = _key(name, labels)
+        self._counters[key] = self._counters.get(key, 0.0) + n
+
+    def set_counter(self, name: str, value: float, /, **labels: str) -> None:
+        """Absolute update — how bridged telemetry totals are written."""
+        self._counters[_key(name, labels)] = value
+
+    def set_gauge(self, name: str, value: float, /, **labels: str) -> None:
+        self._gauges[_key(name, labels)] = value
+
+    def observe(self, name: str, value: float, /, **labels: str) -> None:
+        key = _key(name, labels)
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = self._histograms[key] = Histogram()
+        histogram.observe(value)
+
+    # -- read API -----------------------------------------------------------
+    def counter(self, name: str, /, **labels: str) -> float:
+        return self._counters.get(_key(name, labels), 0.0)
+
+    def gauge(self, name: str, /, **labels: str) -> float:
+        return self._gauges.get(_key(name, labels), 0.0)
+
+    def histogram(self, name: str, /, **labels: str) -> Optional[Histogram]:
+        return self._histograms.get(_key(name, labels))
+
+    def totals(self) -> Dict[str, float]:
+        """Flat ``{spelled key: value}`` of every counter and gauge —
+        re-enumerated at call time, so metrics created after any previous
+        export are always included."""
+        out = {format_key(key): value
+               for key, value in self._counters.items()}
+        out.update((format_key(key), value)
+                   for key, value in self._gauges.items())
+        return out
+
+    # -- telemetry bridge ---------------------------------------------------
+    def sync_telemetry(self, session: Optional[TelemetrySession]) -> None:
+        """Mirror a telemetry session into the registry (idempotent).
+
+        Counters are written as absolute totals under
+        ``f"{component}.{name}"`` — calling sync twice is safe.  Spans feed
+        ``span.duration_us`` histograms labelled by category/name,
+        incrementally from where the previous sync stopped.
+        """
+        if session is None:
+            return
+        for (component, name), value in session.counters.items():
+            self.set_counter(f"{component}.{name}", float(value))
+        new_spans = session.spans[self._spans_synced:]
+        self._spans_synced += len(new_spans)
+        for record in new_spans:
+            self.observe("span.duration_us", record.duration_us,
+                         category=record.category or "span",
+                         name=record.name)
+
+    def snapshot(self, ts: float, label: str = "") -> SeriesPoint:
+        """Append one rolling time-series point over *all* current metrics."""
+        point = SeriesPoint(ts, label, self.totals())
+        self.series.append(point)
+        return point
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "counters": {format_key(k): v
+                         for k, v in sorted(self._counters.items())},
+            "gauges": {format_key(k): v
+                       for k, v in sorted(self._gauges.items())},
+            "histograms": {format_key(k): h.to_dict()
+                           for k, h in sorted(self._histograms.items())},
+            "series": [point.to_dict() for point in self.series],
+        }
+
+    def __repr__(self) -> str:
+        return (f"<MetricsRegistry counters={len(self._counters)} "
+                f"gauges={len(self._gauges)} "
+                f"histograms={len(self._histograms)} "
+                f"series={len(self.series)}>")

@@ -19,13 +19,14 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from .. import telemetry
+from .. import obs, telemetry
 from ..codegen.lower import LowerConfig
 from ..correlate.profgen import (generate_context_profile,
                                  generate_dwarf_profile,
                                  generate_probe_profile)
 from ..faults import FaultSpec, apply_perf_faults, apply_profile_faults
 from ..hw.executor import MachineExecutor, execute, make_pmu
+from ..obs import ProfileManifest, profile_block_counts, trim_overlap_score
 from ..hw.perf_data import PerfData
 from ..hw.pmu import PMU, PMUConfig
 from ..ir.function import Module
@@ -148,10 +149,19 @@ def run_pgo(source: Module, variant: PGOVariant,
     config = config or PGODriverConfig()
     result = PGORunResult(variant)
 
+    obs.emit("run_started", variant=variant.value,
+             iterations=config.profile_iterations,
+             independent=config.independent_profiling,
+             strict=config.strict_profile)
     with telemetry.span(f"variant:{variant.value}", "pgo",
                         variant=variant.value):
-        return _run_pgo_cycle(source, variant, train_args, eval_args,
-                              config, result, jobs)
+        result = _run_pgo_cycle(source, variant, train_args, eval_args,
+                                config, result, jobs)
+    obs.emit("run_finished", variant=variant.value,
+             cycles=result.eval.cycles if result.eval else None,
+             degraded_to=result.extras.get("degraded_variant"))
+    obs.snapshot(f"variant:{variant.value}")
+    return result
 
 
 def _fault_perf(data: PerfData, config: PGODriverConfig,
@@ -165,6 +175,7 @@ def _fault_perf(data: PerfData, config: PGODriverConfig,
         telemetry.count("pgo", "perf_faults_injected", report.total())
         result.extras["perf_faults_injected"] = (
             int(result.extras.get("perf_faults_injected", 0)) + report.total())
+        _merge_fault_digest(result, report)
     return data
 
 
@@ -178,7 +189,62 @@ def _fault_profile(profile, config: PGODriverConfig, result: PGORunResult):
         result.extras["profile_faults_injected"] = (
             int(result.extras.get("profile_faults_injected", 0))
             + report.total())
+        _merge_fault_digest(result, report)
     return profile
+
+
+def _merge_fault_digest(result: PGORunResult, report) -> None:
+    """Accumulate an injection report into the run's provenance digest."""
+    digest = result.extras.setdefault("fault_digest", {})
+    for (injector, metric), count in report.events.items():
+        key = f"{injector}.{metric}"
+        digest[key] = digest.get(key, 0) + count
+
+
+def _record_provenance(result: PGORunResult, variant: PGOVariant, kind: str,
+                       profiling: BuildArtifacts, data: PerfData,
+                       config: PGODriverConfig, profile,
+                       counters_before: Optional[Dict],
+                       quality: Dict[str, float]) -> None:
+    """Build this profile's provenance manifest, stash it on the result,
+    and emit it as a ``profile_generated`` event.  No-op unless an
+    observability session is installed."""
+    session_obs = obs.active()
+    if session_obs is None:
+        return
+    session = telemetry.current()
+    drops: Dict[str, int] = {}
+    samples_used = None
+    if session is not None and counters_before is not None:
+        for (component, name), value in session.counters.items():
+            delta = value - counters_before.get((component, name), 0)
+            if delta and component.endswith(".drop"):
+                drops[f"{component}.{name}"] = delta
+        samples_used = (session.counter("correlate", "samples_used")
+                        - counters_before.get(("correlate", "samples_used"),
+                                              0))
+    samples = len(data)
+    unique = len(data.aggregated()) if samples else 0
+    manifest = ProfileManifest(
+        variant=variant.value, kind=kind,
+        binary_identity=profiling.binary.identity(),
+        perf={"samples": samples, "unique_samples": unique,
+              "dedup_ratio": unique / samples if samples else 0.0,
+              "period": data.period, "lbr_depth": data.lbr_depth,
+              "pebs": data.pebs,
+              "instructions_retired": data.instructions_retired,
+              "binary_id": data.binary_id,
+              "samples_used": samples_used},
+        faults={"spec": (repr(config.fault_spec)
+                         if config.fault_spec is not None else None),
+                "injected": dict(result.extras.get("fault_digest", {}))},
+        drops=drops, quality=dict(quality),
+        profile_stats=profile_stats(profile),
+        created_at=session_obs.log.now())
+    record = manifest.to_dict()
+    result.extras.setdefault("manifests", []).append(record)
+    obs.emit("profile_generated", variant=variant.value, kind=kind,
+             manifest=record)
 
 
 def _generate_profile(variant: PGOVariant, profiling: BuildArtifacts,
@@ -192,32 +258,56 @@ def _generate_profile(variant: PGOVariant, profiling: BuildArtifacts,
     When ``config.fault_spec`` is set, perf-data faults corrupt the samples
     before profgen and profile faults corrupt the generated profile *before*
     trimming and pre-inlining, so every downstream consumer sees them.
+
+    With an observability session installed, every generated profile gets a
+    provenance manifest (binary identity, sample lineage, fault digest,
+    drop accounting, trim-fidelity score) recorded under
+    ``result.extras["manifests"]`` and emitted as a ``profile_generated``
+    event.
     """
+    observing = obs.enabled()
+    session = telemetry.current()
+    counters_before = (dict(session.counters)
+                       if observing and session is not None else None)
     data = _fault_perf(data, config, result)
+    quality: Dict[str, float] = {}
     with telemetry.span("profile-generation", "stage"):
         if variant in (PGOVariant.AUTOFDO, PGOVariant.FS_AUTOFDO):
-            profile = generate_dwarf_profile(profiling.binary, data)
-            return _fault_profile(profile, config, result), None
+            profile = _fault_profile(
+                generate_dwarf_profile(profiling.binary, data),
+                config, result)
+            _record_provenance(result, variant, "dwarf", profiling, data,
+                               config, profile, counters_before, quality)
+            return profile, None
         if variant is PGOVariant.CSSPGO_PROBE_ONLY:
-            profile = generate_probe_profile(
-                profiling.binary, data, profiling.probe_meta)
-            return _fault_profile(profile, config, result), None
+            profile = _fault_profile(
+                generate_probe_profile(profiling.binary, data,
+                                       profiling.probe_meta),
+                config, result)
+            _record_provenance(result, variant, "probe", profiling, data,
+                               config, profile, counters_before, quality)
+            return profile, None
         profile, inferrer = generate_context_profile(
             profiling.binary, data, profiling.probe_meta)
     inference = (inferrer.attempted, inferrer.recovered)
     result.extras["frame_inference"] = inference
     profile = _fault_profile(profile, config, result)
     result.raw_profile_stats = profile_stats(profile)
+    raw_counts = profile_block_counts(profile) if observing else None
     if config.trim_cold_contexts:
         with telemetry.span("trim", "stage"):
             kept, merged = trim_cold_contexts(
                 profile, config.trim_hot_fraction)
         result.extras["trimmed_contexts"] = merged
         telemetry.count("pgo", "contexts_trimmed", merged)
+    if raw_counts is not None:
+        quality["trim_overlap"] = trim_overlap_score(raw_counts, profile)
     with telemetry.span("preinline", "stage"):
         sizes = extract_function_sizes(profiling.binary)
         decisions = run_preinliner(profile, sizes, config.preinline)
     result.extras["preinline_decisions"] = decisions
+    _record_provenance(result, variant, "context", profiling, data, config,
+                       profile, counters_before, quality)
     return profile, inference
 
 
@@ -256,14 +346,19 @@ def _build_optimized(source: Module, variant: PGOVariant, profile,
     the next variant in :data:`_FALLBACK_NEXT`, regenerating a DWARF profile
     from the same samples when one is reachable, bottoming out at a plain
     no-PGO build.  Every hop bumps ``pgo.fallback.<from>_to_<to>``, emits a
-    ``ProfileFallback`` remark, and is appended to
-    ``result.extras["fallback_chain"]``.
+    ``ProfileFallback`` remark and a ``fallback_taken`` event, and is
+    appended to ``result.extras["fallback_chain"]`` with its *reason*
+    (the :mod:`repro.profile.errors` exception type, or
+    ``EmptyAnnotation``) recorded in the parallel
+    ``result.extras["fallback_reasons"]`` list.
 
     In strict mode (``config.strict_profile``) the sample loaders raise a
     typed :class:`~repro.profile.errors.ProfileError` instead of dropping;
     the chain re-raises it — loud failure is the point of strict.
     """
     chain: List[str] = []
+    reasons: List[str] = []
+    hops: List[Dict[str, str]] = []
     current_variant, current_profile = variant, profile
     current_imap = imap_from_profiling
     while True:
@@ -277,12 +372,14 @@ def _build_optimized(source: Module, variant: PGOVariant, profile,
             stats = artifacts.annotation
             usable = stats is None or stats.usable(
                 not _profile_is_empty(current_profile))
+            reason = "EmptyAnnotation" if not usable else ""
             detail = "0 functions annotated" if not usable else ""
         except ProfileError as exc:
             if config.strict_profile:
                 raise
             artifacts, usable = None, False
-            detail = f"{type(exc).__name__}: {exc}"
+            reason = type(exc).__name__
+            detail = f"{reason}: {exc}"
         next_variant = _FALLBACK_NEXT.get(current_variant)
         if usable or next_variant is None:
             break
@@ -292,8 +389,14 @@ def _build_optimized(source: Module, variant: PGOVariant, profile,
         telemetry.remark(
             "pgo-driver", "ProfileFallback", "<module>",
             f"profile unusable for {current_variant.value} ({detail}); "
-            f"degrading to {next_variant.value}")
+            f"degrading to {next_variant.value}", reason=reason)
+        obs.emit("fallback_taken", from_variant=current_variant.value,
+                 to_variant=next_variant.value, reason=reason,
+                 detail=detail)
         chain.append(f"{current_variant.value}->{next_variant.value}")
+        reasons.append(reason)
+        hops.append({"from": current_variant.value,
+                     "to": next_variant.value, "reason": reason})
         if (next_variant.is_sampled and profiling is not None
                 and data is not None):
             current_profile = generate_dwarf_profile(profiling.binary, data)
@@ -308,7 +411,19 @@ def _build_optimized(source: Module, variant: PGOVariant, profile,
                           lower_config=config.lower)
     if chain:
         result.extras["fallback_chain"] = chain
+        result.extras["fallback_reasons"] = reasons
         result.extras["degraded_variant"] = current_variant.value
+        # The degradation story belongs to the profile's provenance: stamp
+        # the hops onto the most recent manifest of this run.
+        manifests = result.extras.get("manifests")
+        if manifests:
+            manifests[-1]["fallbacks"] = hops
+    stats = artifacts.annotation
+    if stats is not None:
+        obs.emit("profile_applied", variant=current_variant.value,
+                 annotated=len(stats.annotated),
+                 rejected_checksum=len(stats.rejected_checksum),
+                 no_profile=len(stats.no_profile))
     return artifacts
 
 
@@ -393,6 +508,27 @@ def _run_pgo_cycle(source: Module, variant: PGOVariant,
             profile: Dict[Tuple[str, int], float] = dict(run.instr_counters)
             result.profile = profile
             result.profiling_build = profiling
+            session_obs = obs.active()
+            if session_obs is not None:
+                # Instr PGO reads exact counters, so lineage is just the
+                # instrumented binary and its counter census — no perf-data
+                # chain, no drops, no trim.
+                manifest = ProfileManifest(
+                    variant=variant.value, kind="instr",
+                    binary_identity=profiling.binary.identity(),
+                    perf={"counters": len(profile),
+                          "instructions_retired": run.instructions_retired},
+                    faults={"spec": (repr(config.fault_spec)
+                                     if config.fault_spec is not None
+                                     else None),
+                            "injected": {}},
+                    drops={}, quality={}, profile_stats={},
+                    created_at=session_obs.log.now())
+                record = manifest.to_dict()
+                result.extras.setdefault("manifests", []).append(record)
+                obs.emit("profile_generated", variant=variant.value,
+                         kind="instr", manifest=record)
+            obs.snapshot(f"{variant.value}/iter:0")
         with telemetry.span("optimizing-build", "stage"):
             final = _build_optimized(source, variant, profile, config, result,
                                      imap_from_profiling=profiling.imap)
@@ -409,6 +545,7 @@ def _run_pgo_cycle(source: Module, variant: PGOVariant,
                 profiling, train_args, config, result, jobs)
         result.extras["samples"] = len(data)
         result.extras["samples_per_iteration"] = samples_per_iteration
+        obs.snapshot(f"{variant.value}/collect")
         profile, inference = _generate_profile(variant, profiling, data,
                                                config, result)
         if inference is not None:
@@ -447,6 +584,7 @@ def _run_pgo_cycle(source: Module, variant: PGOVariant,
                     variant, profiling, data, config, result)
                 if inference is not None:
                     inference_per_iteration.append(inference)
+            obs.snapshot(f"{variant.value}/iter:{iteration}")
         result.extras["samples_per_iteration"] = samples_per_iteration
         if inference_per_iteration:
             result.extras["frame_inference_per_iteration"] = \
@@ -464,6 +602,31 @@ def _run_pgo_cycle(source: Module, variant: PGOVariant,
     return result
 
 
+def _run_pgo_worker(source: Module, variant: PGOVariant,
+                    train_args: Sequence[int], eval_args: Sequence[int],
+                    config: Optional[PGODriverConfig],
+                    collect_telemetry: bool, collect_events: bool):
+    """Pool-worker wrapper around :func:`run_pgo` (module-level, picklable).
+
+    When the parent is collecting telemetry/events, the worker collects
+    into fresh local sessions and ships them back with the result so the
+    parent can merge — parallelism must not punch holes in observability.
+    """
+    session = (telemetry.enable(telemetry.TelemetrySession())
+               if collect_telemetry else None)
+    obs_session = obs.install() if collect_events else None
+    try:
+        result = run_pgo(source, variant, train_args, eval_args, config)
+    finally:
+        if collect_telemetry:
+            telemetry.disable()
+        if collect_events:
+            obs.uninstall()
+    events = (obs.events_to_dicts(obs_session.log.events)
+              if obs_session is not None else None)
+    return result, session, events
+
+
 def compare_variants(source: Module, train_args: Sequence[int],
                      eval_args: Sequence[int],
                      variants: Optional[List[PGOVariant]] = None,
@@ -475,8 +638,10 @@ def compare_variants(source: Module, train_args: Sequence[int],
     Each variant's cycle is fully deterministic and shares no mutable state
     with the others (every cycle builds from a fresh clone of ``source`` and
     seeds its own PMU), so the result dict — still in ``variants`` order —
-    is byte-identical to a serial run.  Telemetry recorded inside worker
-    processes is not merged back into the parent session.
+    is byte-identical to a serial run.  Telemetry and observability events
+    recorded inside worker processes are merged back into the parent's
+    sessions in ``variants`` order: counters add, spans/remarks append, and
+    worker events are re-emitted (re-stamped with parent sequence/clock).
     """
     if variants is None:
         variants = [PGOVariant.NONE, PGOVariant.AUTOFDO,
@@ -487,12 +652,26 @@ def compare_variants(source: Module, train_args: Sequence[int],
                                  config)
                 for variant in variants}
     telemetry.count("pgo", "parallel_compare_jobs", min(jobs, len(variants)))
+    parent_session = telemetry.current()
+    parent_obs = obs.active()
+    results: Dict[PGOVariant, PGORunResult] = {}
     with ProcessPoolExecutor(max_workers=min(jobs, len(variants))) as pool:
-        futures = [pool.submit(run_pgo, source, variant, train_args,
-                               eval_args, config)
+        futures = [pool.submit(_run_pgo_worker, source, variant, train_args,
+                               eval_args, config,
+                               parent_session is not None,
+                               parent_obs is not None)
                    for variant in variants]
-        return {variant: future.result()
-                for variant, future in zip(variants, futures)}
+        for variant, future in zip(variants, futures):
+            result, worker_session, worker_events = future.result()
+            if parent_session is not None and worker_session is not None:
+                parent_session.merge(worker_session)
+            if parent_obs is not None and worker_events:
+                for record in worker_events:
+                    fields = {key: value for key, value in record.items()
+                              if key not in ("type", "seq", "ts")}
+                    parent_obs.emit(record["type"], **fields)
+            results[variant] = result
+    return results
 
 
 def speedup_over(baseline: PGORunResult, other: PGORunResult) -> float:

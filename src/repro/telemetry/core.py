@@ -171,6 +171,13 @@ class TelemetrySession:
     def counter(self, component: str, name: str) -> int:
         return self.counters.get((component, name), 0)
 
+    def merge(self, other: "TelemetrySession") -> None:
+        """Fold another session into this one: counters add, spans and
+        remarks append (how pool workers' telemetry rejoins the parent)."""
+        self.counters.update(other.counters)
+        self.spans.extend(other.spans)
+        self.remarks.extend(other.remarks)
+
     def __repr__(self) -> str:
         return (f"<TelemetrySession counters={len(self.counters)} "
                 f"spans={len(self.spans)} remarks={len(self.remarks)}>")
@@ -181,9 +188,19 @@ _session: Optional[TelemetrySession] = None
 
 
 def enable(session: Optional[TelemetrySession] = None) -> TelemetrySession:
-    """Install ``session`` (or a fresh one) as the process-wide collector."""
+    """Install ``session`` as the process-wide collector.
+
+    Called with no argument while a session is already active, the active
+    session is **kept** — a library enabling telemetry under a CLI that is
+    already collecting must not clobber the counters and spans registered
+    so far (they would silently vanish from every later export).  Passing
+    an explicit ``session`` always installs it.
+    """
     global _session
-    _session = session if session is not None else TelemetrySession()
+    if session is not None:
+        _session = session
+    elif _session is None:
+        _session = TelemetrySession()
     return _session
 
 

@@ -318,10 +318,14 @@ def test_driver_degrades_on_fully_stale_profile(workload):
     telemetry.disable()
     assert result.eval is not None
     assert result.extras["fallback_chain"] == ["csspgo->autofdo"]
+    assert result.extras["fallback_reasons"] == ["EmptyAnnotation"]
     assert result.extras["degraded_variant"] == "autofdo"
     assert result.final.variant is PGOVariant.AUTOFDO
     assert session.counter("pgo.fallback", "csspgo_to_autofdo") == 1
-    assert any(r.name == "ProfileFallback" for r in session.remarks)
+    fallback_remarks = [r for r in session.remarks
+                        if r.name == "ProfileFallback"]
+    assert fallback_remarks
+    assert fallback_remarks[0].args["reason"] == "EmptyAnnotation"
 
 
 def test_driver_strict_raises_on_stale_profile(workload):
@@ -356,6 +360,7 @@ def test_chain_bottoms_out_at_no_pgo(workload):
                                  _driver_config(), result)
     assert artifacts.variant is PGOVariant.NONE
     assert result.extras["fallback_chain"] == ["autofdo->none"]
+    assert result.extras["fallback_reasons"] == ["EmptyAnnotation"]
 
 
 # ---------------------------------------------------------------------------
