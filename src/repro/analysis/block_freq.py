@@ -1,0 +1,96 @@
+"""Static block-frequency propagation (LLVM BlockFrequencyInfo analogue).
+
+Given the per-edge probabilities from :class:`BranchProbabilityInfo`,
+computes relative execution frequencies with the entry block fixed at
+1.0.  Rather than LLVM's loop-collapsing mass distribution this uses
+plain Gauss–Seidel iteration in reverse post-order: each sweep assigns
+
+    freq(b) = [b is entry] + sum over preds p of freq(p) * prob(p -> b)
+
+and repeats until a fixed point.  Loop headers are accelerated with the
+cyclic-probability shortcut: inflow is split into external mass and
+back-edge mass, and since the back-edge mass is linear in the header's
+own frequency (ratio ``r`` = the loop's cyclic probability, observable
+from the previous sweep), the header jumps straight to the fixed point
+``ext / (1 - r)`` — a single loop is exact after two sweeps and nests
+converge in a few more, instead of the ~0.98-per-sweep crawl plain
+Gauss–Seidel manages on nested loops.  :data:`MAX_ITERATIONS` bounds
+irreducible cycles (whose edges are not natural back edges and get no
+acceleration) and :data:`MAX_FREQUENCY` guards the pathological
+cyclic-probability-1 case (statically infinite loops).  The result is
+deterministic: iteration order is RPO, inputs are pure functions of the
+IR.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ir.cfg import predecessors_map, reverse_post_order
+from ..ir.function import Function
+from .branch_prob import BranchProbabilityInfo
+
+#: Fixed frequency of the function entry block.
+ENTRY_FREQUENCY = 1.0
+#: Sweep limit; each sweep shrinks the loop-frequency error by the loop's
+#: stay probability, so 200 sweeps leave < 1e-11 at 0.875.
+MAX_ITERATIONS = 200
+#: Absolute convergence tolerance between sweeps.
+TOLERANCE = 1e-9
+#: Cap for degenerate CFGs whose loops have no static exit probability.
+MAX_FREQUENCY = 1e12
+
+
+class BlockFrequencyInfo:
+    """Relative block frequencies for one function (entry = 1.0)."""
+
+    __slots__ = ("fn", "bpi", "freq")
+
+    def __init__(self, fn: Function,
+                 bpi: Optional[BranchProbabilityInfo] = None):
+        self.fn = fn
+        self.bpi = bpi if bpi is not None else BranchProbabilityInfo(fn)
+        self.freq: Dict[str, float] = self._propagate()
+
+    def frequency(self, label: str) -> float:
+        """Relative frequency of ``label`` (0.0 for unreachable blocks)."""
+        return self.freq.get(label, 0.0)
+
+    def _propagate(self) -> Dict[str, float]:
+        order = reverse_post_order(self.fn)
+        preds = predecessors_map(self.fn)
+        loop_info = self.bpi.loop_info
+        reachable = set(order)
+        entry = self.fn.entry.label
+        freq = {label: 0.0 for label in order}
+        freq[entry] = ENTRY_FREQUENCY
+        for _ in range(MAX_ITERATIONS):
+            delta = 0.0
+            for label in order:
+                external = ENTRY_FREQUENCY if label == entry else 0.0
+                back = 0.0
+                for pred in preds[label]:
+                    if pred not in reachable:
+                        continue
+                    mass = freq[pred] * self.bpi.probability(pred, label)
+                    if loop_info.is_back_edge(pred, label):
+                        back += mass
+                    else:
+                        external += mass
+                if back > 0.0 and freq[label] > 0.0:
+                    # The back-edge mass scales linearly with this header's
+                    # own frequency; its observed ratio is the loop's cyclic
+                    # probability, so solve the fixed point directly.
+                    cyclic = back / freq[label]
+                    if cyclic < 1.0:
+                        inflow = external / (1.0 - cyclic)
+                    else:
+                        inflow = MAX_FREQUENCY
+                else:
+                    inflow = external + back
+                inflow = min(inflow, MAX_FREQUENCY)
+                delta = max(delta, abs(inflow - freq[label]))
+                freq[label] = inflow
+            if delta < TOLERANCE:
+                break
+        return freq

@@ -1,0 +1,132 @@
+"""Static branch-probability heuristics (Ball–Larus / LLVM BPI analogue).
+
+Per-edge probabilities for every CFG edge, derived purely from the IR.
+Heuristics are applied in priority order — first one that discriminates
+between a block's successors wins, mirroring LLVM's
+``estimateBranchProbability`` chain:
+
+1. *loop heuristic* — edges that stay inside the block's innermost loop
+   (including the back edge to its header) take :data:`PROB_LOOP_STAY` of
+   the mass; loop-exiting edges share the rest.  Ball–Larus "loop branch
+   heuristic (LBH)".
+2. *return heuristic* — successors that immediately return are unlikely
+   (:data:`PROB_RETURN_TAKEN`).  Ball–Larus "return heuristic (RH)".
+3. *opcode heuristic* — when the branch condition is an equality compare
+   defined in the same block, ``eq`` is unlikely to hold and ``ne``
+   likely (:data:`PROB_EQ_TAKEN`); the integer analogue of Ball–Larus's
+   pointer/opcode heuristics (OH/PH).
+4. uniform split.
+
+Probabilities are normalized over *unique* successor labels (a CondBr
+with both targets equal is a single edge of probability 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.function import BasicBlock, Function
+from ..ir.instructions import Cmp, CondBr, Ret
+from .loops import LoopInfo
+
+#: Probability mass kept inside a loop at a stay-vs-exit branch (LLVM uses
+#: 31/32 for back edges; 0.875 keeps static trip counts modest).
+PROB_LOOP_STAY = 0.875
+#: Probability of branching *to* a block that immediately returns.
+PROB_RETURN_TAKEN = 0.25
+#: Probability that an ``eq`` compare guards the taken side.
+PROB_EQ_TAKEN = 0.375
+
+
+def _returns_immediately(fn: Function, label: str) -> bool:
+    block = fn.block(label)
+    return bool(block.instrs) and isinstance(block.instrs[-1], Ret)
+
+
+def _defining_cmp(block: BasicBlock, reg: object) -> Optional[Cmp]:
+    """The Cmp in ``block`` that defines ``reg``, scanning backwards."""
+    if not isinstance(reg, str):
+        return None
+    for instr in reversed(block.instrs):
+        if instr.defined() == reg:
+            return instr if isinstance(instr, Cmp) else None
+    return None
+
+
+def _split(likely: List[str], unlikely: List[str],
+           likely_mass: float) -> Dict[str, float]:
+    probs = {}
+    for label in likely:
+        probs[label] = likely_mass / len(likely)
+    for label in unlikely:
+        probs[label] = (1.0 - likely_mass) / len(unlikely)
+    return probs
+
+
+class BranchProbabilityInfo:
+    """Static edge probabilities for one function.
+
+    ``edge_prob`` maps ``(src_label, dst_label)`` to a probability in
+    (0, 1]; for every block with successors the outgoing probabilities
+    sum to 1.
+    """
+
+    __slots__ = ("fn", "loop_info", "edge_prob")
+
+    def __init__(self, fn: Function, loop_info: Optional[LoopInfo] = None):
+        self.fn = fn
+        self.loop_info = loop_info if loop_info is not None else LoopInfo(fn)
+        self.edge_prob: Dict[Tuple[str, str], float] = {}
+        for block in fn.blocks:
+            for succ, prob in self._block_probs(block).items():
+                self.edge_prob[(block.label, succ)] = prob
+
+    def probability(self, src: str, dst: str) -> float:
+        return self.edge_prob.get((src, dst), 0.0)
+
+    def successor_probs(self, label: str) -> Dict[str, float]:
+        block = self.fn.block(label)
+        return {succ: self.edge_prob[(label, succ)]
+                for succ in dict.fromkeys(block.successors())}
+
+    def _block_probs(self, block: BasicBlock) -> Dict[str, float]:
+        succs = list(dict.fromkeys(block.successors()))
+        if not succs:
+            return {}
+        if len(succs) == 1:
+            return {succs[0]: 1.0}
+
+        # 1. Loop heuristic: prefer edges staying in the innermost loop.
+        loop = self.loop_info.innermost_loop(block.label)
+        if loop is not None:
+            stay = [s for s in succs if s in loop.body]
+            leave = [s for s in succs if s not in loop.body]
+            if stay and leave:
+                return _split(stay, leave, PROB_LOOP_STAY)
+        else:
+            # Not in a loop, but a successor may be a loop header: entering
+            # a loop is likelier than skipping it.
+            enter = [s for s in succs if self.loop_info.is_loop_header(s)]
+            skip = [s for s in succs if not self.loop_info.is_loop_header(s)]
+            if enter and skip:
+                return _split(enter, skip, PROB_LOOP_STAY)
+
+        # 2. Return heuristic: branching to an immediate return is unlikely.
+        returning = [s for s in succs if _returns_immediately(self.fn, s)]
+        ongoing = [s for s in succs if not _returns_immediately(self.fn, s)]
+        if returning and ongoing:
+            return _split(ongoing, returning, 1.0 - PROB_RETURN_TAKEN)
+
+        # 3. Opcode heuristic: eq-guarded branches rarely take the true side.
+        terminator = block.instrs[-1] if block.instrs else None
+        if isinstance(terminator, CondBr):
+            cmp = _defining_cmp(block, terminator.cond)
+            if cmp is not None and cmp.pred in ("eq", "ne"):
+                true_prob = (PROB_EQ_TAKEN if cmp.pred == "eq"
+                             else 1.0 - PROB_EQ_TAKEN)
+                if terminator.true_target != terminator.false_target:
+                    return {terminator.true_target: true_prob,
+                            terminator.false_target: 1.0 - true_prob}
+
+        # 4. No heuristic fired: uniform.
+        return {s: 1.0 / len(succs) for s in succs}

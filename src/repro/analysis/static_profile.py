@@ -1,0 +1,154 @@
+"""Static profile estimation for cold and never-sampled functions.
+
+Sampling-based PGO goes blind wherever the sampler never fired: functions
+with no samples keep ``block.count = None`` end to end and the optimizer
+treats them as fully cold.  Following the static-characterization line of
+work (arXiv 2311.12883), this module turns the pure-CFG frequencies from
+:class:`BlockFrequencyInfo` into absolute pseudo-counts:
+
+* entry counts are propagated top-down over the call graph — a sampled
+  caller contributes its *measured* call-site block count, an estimated
+  caller contributes ``entry * static_freq(call block)``, and functions
+  with no known callers fall back to :data:`COLD_ENTRY_FALLBACK`;
+* block counts are ``entry * relative_frequency``;
+* :func:`synthesize_function_samples` renders the same estimate as a
+  :class:`FunctionSamples` record (probe-keyed) so it can travel through
+  the normal profile pipeline.
+
+The blend contract (enforced by tests): :func:`fill_static_counts` never
+touches a function that already carries any sampled/inferred count, so
+with full sample coverage the hybrid output is bit-identical to the
+sampled-only output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import networkx as nx
+
+from ..ir.function import Function, Module
+from ..ir.instructions import Call, PseudoProbe
+from ..profile.function_samples import FunctionSamples
+from .block_freq import BlockFrequencyInfo
+
+#: Entry pseudo-count for functions with no known or estimated callers.
+COLD_ENTRY_FALLBACK = 1.0
+
+
+def function_frequencies(fn: Function) -> Dict[str, float]:
+    """Relative block frequencies (entry = 1.0) for one function."""
+    return dict(BlockFrequencyInfo(fn).freq)
+
+
+def top_down_order(module: Module) -> List[str]:
+    """Callers before callees (reverse CGSCC order), cycles broken
+    deterministically — the propagation order for entry-count estimates."""
+    graph = nx.DiGraph()
+    for fn in module.functions.values():
+        graph.add_node(fn.name)
+        for callee in fn.callees():
+            if module.has_function(callee):
+                graph.add_edge(fn.name, callee)
+    condensation = nx.condensation(graph)
+    order: List[str] = []
+    for scc_id in nx.topological_sort(condensation):
+        order.extend(sorted(condensation.nodes[scc_id]["members"]))
+    return order
+
+
+def _is_annotated(fn: Function) -> bool:
+    return any(block.count is not None for block in fn.blocks)
+
+
+def estimate_entry_counts(module: Module,
+                          known: Optional[Dict[str, float]] = None
+                          ) -> Dict[str, float]:
+    """Absolute entry-count estimates for every function in ``module``.
+
+    ``known`` pins functions whose entry counts are measured (sampled
+    head counts / inferred entry counts); everything else is estimated
+    from its callers in top-down order.  Contributions along call-graph
+    back edges (recursion) are missed — the estimate is a floor, which
+    is the right bias for filling cold functions.
+    """
+    known = known or {}
+    incoming: Dict[str, float] = {}
+    estimates: Dict[str, float] = {}
+    for name in top_down_order(module):
+        fn = module.functions[name]
+        if name in known:
+            entry = float(known[name])
+        else:
+            entry = incoming.get(name, 0.0)
+            if entry <= 0.0:
+                entry = COLD_ENTRY_FALLBACK
+        estimates[name] = entry
+        annotated = _is_annotated(fn)
+        freqs: Optional[Dict[str, float]] = None
+        for block in fn.blocks:
+            callees = [instr.callee for instr in block.instrs
+                       if isinstance(instr, Call)
+                       and module.has_function(instr.callee)]
+            if not callees:
+                continue
+            if annotated:
+                site_count = float(block.count) if block.count else 0.0
+            else:
+                if freqs is None:
+                    freqs = function_frequencies(fn)
+                site_count = entry * freqs.get(block.label, 0.0)
+            for callee in callees:
+                incoming[callee] = incoming.get(callee, 0.0) + site_count
+    return estimates
+
+
+def fill_static_counts(module: Module,
+                       known_entries: Optional[Dict[str, float]] = None,
+                       skip: Iterable[str] = ()) -> List[str]:
+    """Fill static pseudo-counts into every *unannotated* function.
+
+    Functions named in ``skip`` or carrying any existing block count are
+    left untouched (the conservative-blend contract).  Returns the names
+    that were filled, sorted.
+    """
+    skip_set = set(skip)
+    estimates = estimate_entry_counts(module, known_entries)
+    filled: List[str] = []
+    for name, fn in module.functions.items():
+        if name in skip_set or _is_annotated(fn):
+            continue
+        entry = estimates.get(name, COLD_ENTRY_FALLBACK)
+        freqs = function_frequencies(fn)
+        for block in fn.blocks:
+            block.count = entry * freqs.get(block.label, 0.0)
+        fn.entry_count = entry
+        filled.append(name)
+    return sorted(filled)
+
+
+def synthesize_function_samples(fn: Function,
+                                entry_count: float = COLD_ENTRY_FALLBACK
+                                ) -> FunctionSamples:
+    """Render a static estimate as a probe-keyed FunctionSamples record.
+
+    Requires ``fn`` to be probe-instrumented: block probes become body
+    counts, call-site probes become body counts plus call-target counts.
+    Inlined probes (non-empty inline stacks) are skipped — synthesis
+    models the function's own lexical probes only.
+    """
+    freqs = function_frequencies(fn)
+    samples = FunctionSamples(fn.name)
+    samples.head = float(entry_count)
+    samples.checksum = fn.probe_checksum
+    for block in fn.blocks:
+        frequency = entry_count * freqs.get(block.label, 0.0)
+        for instr in block.instrs:
+            if isinstance(instr, PseudoProbe) and not instr.inline_stack:
+                samples.add_body(instr.probe_id, frequency)
+            elif (isinstance(instr, Call) and instr.probe_id is not None
+                  and not instr.inline_probe_stack):
+                samples.add_body(instr.probe_id, frequency)
+                samples.add_call(instr.probe_id, instr.callee, frequency)
+    samples.finalize()
+    return samples

@@ -68,7 +68,8 @@ def _reject_checksum(stats: AnnotationStats, name: str, strict: bool,
     stats.rejected_checksum.append(name)
 
 
-def annotate_autofdo(module: Module, profile: FlatProfile) -> AnnotationStats:
+def annotate_autofdo(module: Module, profile: FlatProfile,
+                     static_fill: bool = False) -> AnnotationStats:
     stats = AnnotationStats()
     heads: Dict[str, float] = {}
     for name, fn in module.functions.items():
@@ -79,13 +80,14 @@ def annotate_autofdo(module: Module, profile: FlatProfile) -> AnnotationStats:
         annotate_function_dwarf(fn, samples)
         heads[name] = samples.head
         stats.annotated.append(name)
-    infer_module_counts(module, heads)
+    infer_module_counts(module, heads, static_fill=static_fill)
     module.profile_summary = ProfileSummary.from_module(module)
     return stats
 
 
 def annotate_probe_flat(module: Module, profile: FlatProfile,
-                        strict: bool = False) -> AnnotationStats:
+                        strict: bool = False,
+                        static_fill: bool = False) -> AnnotationStats:
     """Probe-only profile application with enforced checksum verification.
 
     Per-function fallback (permissive mode, the default): a function whose
@@ -108,7 +110,7 @@ def annotate_probe_flat(module: Module, profile: FlatProfile,
             continue
         heads[name] = samples.head
         stats.annotated.append(name)
-    infer_module_counts(module, heads)
+    infer_module_counts(module, heads, static_fill=static_fill)
     module.profile_summary = ProfileSummary.from_module(module)
     return stats
 
@@ -136,8 +138,8 @@ def annotate_instr(module: Module, counters: Dict[Tuple[str, int], float],
     return stats
 
 
-def annotate_fs_autofdo_early(module: Module,
-                              profile: FlatProfile) -> AnnotationStats:
+def annotate_fs_autofdo_early(module: Module, profile: FlatProfile,
+                              static_fill: bool = False) -> AnnotationStats:
     """FS-AutoFDO's first annotation: discriminators folded away (the fresh
     IR has none yet); drives inlining/unrolling like plain AutoFDO."""
     stats = AnnotationStats()
@@ -150,7 +152,7 @@ def annotate_fs_autofdo_early(module: Module,
         annotate_function_dwarf(fn, fold_discriminators(samples))
         heads[name] = samples.head
         stats.annotated.append(name)
-    infer_module_counts(module, heads)
+    infer_module_counts(module, heads, static_fill=static_fill)
     module.profile_summary = ProfileSummary.from_module(module)
     return stats
 
@@ -200,7 +202,8 @@ def annotate_fs_autofdo_late(module: Module, profile: FlatProfile) -> int:
 
 def csspgo_sample_loader(module: Module, profile: ContextProfile,
                          config: Optional[OptConfig] = None,
-                         strict: bool = False) -> AnnotationStats:
+                         strict: bool = False,
+                         static_fill: bool = False) -> AnnotationStats:
     """Annotate + replay pre-inliner decisions, top-down.
 
     Requires a pre-inliner-transformed profile: surviving non-base contexts
@@ -230,7 +233,7 @@ def csspgo_sample_loader(module: Module, profile: ContextProfile,
             heads[name] = base.head
             stats.annotated.append(name)
         _replay_inline_decisions(module, fn, profile, stats, config)
-    infer_module_counts(module, heads)
+    infer_module_counts(module, heads, static_fill=static_fill)
     module.profile_summary = ProfileSummary.from_module(module)
     return stats
 

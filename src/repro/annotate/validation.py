@@ -6,6 +6,12 @@ application time: given a profile and the build artifacts it is about to be
 applied to, report — *without building anything* — how much of it will
 match.  This is the engine of the ``repro validate`` CLI subcommand (CI
 gate: ship the profile only if enough of it is still valid).
+
+Checksums answer "is this the same CFG"; the flow-consistency *linter*
+(``analysis.lint``) answers "are these counts even possible on that CFG".
+:func:`validate_profile` runs both when given the probed IR, folding lint
+findings into the report so one ``repro validate --lint`` call gates on
+staleness and corruption together.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from typing import Dict, List, Optional, Union
 
 from ..codegen.binary import Binary
 from ..codegen.probe_metadata import ProbeMetadata
+from ..ir.function import Module
 from ..profile.profiles import ContextProfile, FlatProfile
 
 Profile = Union[FlatProfile, ContextProfile]
@@ -33,6 +40,13 @@ class ValidationReport:
         #: Functions present in both but with no checksum to compare
         #: (DWARF profiles, or probe records that never carried one).
         self.unchecked: List[str] = []
+        #: Flow-consistency findings (``analysis.lint``), populated only
+        #: when :func:`validate_profile` was given the probed IR to lint
+        #: against.  ``None`` = lint did not run.
+        self.lint_findings: Optional[list] = None
+        #: The full :class:`~repro.analysis.lint.LintReport` behind
+        #: ``lint_findings`` (function tallies, per-rule rollups).
+        self.lint_report = None
 
     @property
     def checked(self) -> int:
@@ -47,10 +61,14 @@ class ValidationReport:
         return len(self.matched) / self.checked
 
     def passed(self, min_match_rate: float = 1.0,
-               max_unknown: Optional[int] = None) -> bool:
+               max_unknown: Optional[int] = None,
+               max_lint_findings: Optional[int] = 0) -> bool:
         if self.match_rate < min_match_rate:
             return False
         if max_unknown is not None and len(self.unknown) > max_unknown:
+            return False
+        if (max_lint_findings is not None and self.lint_findings is not None
+                and len(self.lint_findings) > max_lint_findings):
             return False
         return True
 
@@ -74,12 +92,18 @@ def _profile_checksums(profile: Profile) -> Dict[str, Optional[int]]:
 
 
 def validate_profile(profile: Profile, binary: Binary,
-                     probe_meta: Optional[ProbeMetadata]) -> ValidationReport:
+                     probe_meta: Optional[ProbeMetadata],
+                     lint_module: Optional[Module] = None,
+                     lint_config=None) -> ValidationReport:
     """Audit every profile function against the binary's recorded checksums.
 
     Name resolution goes through the GUID map, not just the symbol table:
     a function fully inlined away has no out-of-line symbol but is still a
     known, checksummed part of this build.
+
+    ``lint_module`` — the probe-instrumented IR the profile's probe ids
+    refer to; when given, the flow-consistency linter runs too and its
+    findings land in ``report.lint_findings`` (gated by ``passed()``).
     """
     report = ValidationReport()
     checksums = probe_meta.checksums if probe_meta is not None else {}
@@ -99,4 +123,9 @@ def validate_profile(profile: Profile, binary: Binary,
             report.matched.append(name)
         else:
             report.mismatched.append(name)
+    if lint_module is not None:
+        from ..analysis.lint import lint_profile
+        lint_report = lint_profile(profile, lint_module, lint_config)
+        report.lint_findings = list(lint_report.findings)
+        report.lint_report = lint_report
     return report

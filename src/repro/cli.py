@@ -11,6 +11,8 @@ Commands:
   statistics report (LLVM ``-stats`` / ``-time-passes`` style);
 * ``report`` — render a ``--events-out`` JSONL log as the terminal/HTML
   observability dashboard with the SLO scorecard;
+* ``lint`` — statically audit a saved profile against the workload's CFG
+  (flow conservation, unreachable counts, entry/loop anomalies);
 * ``workloads`` — list the named workloads.
 
 Global telemetry flags (usable with any command):
@@ -54,7 +56,9 @@ def _config(args) -> PGODriverConfig:
         profile_iterations=args.iterations,
         independent_profiling=getattr(args, "independent_profiling", False),
         fault_spec=args.fault_spec,
-        strict_profile=args.strict_profile)
+        strict_profile=args.strict_profile,
+        static_fill_cold=args.static_fill_cold,
+        verify_each=args.verify_each)
 
 
 def _parse_variants(spec: str) -> Optional[List[PGOVariant]]:
@@ -159,6 +163,87 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def _load_profile_text(path: str, strict: bool):
+    """Read and parse a profile text file; returns (profile, error_code).
+
+    ``error_code`` is None on success, else the CLI exit code (2) after the
+    error has been printed."""
+    from .profile import (ProfileParseError, load_context_profile,
+                          load_flat_profile)
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except OSError as exc:
+        print(f"error: cannot read profile: {exc}", file=sys.stderr)
+        return None, 2
+    try:
+        if text.lstrip().startswith("# kind: context"):
+            return load_context_profile(text, strict=strict), None
+        return load_flat_profile(text, strict=strict), None
+    except ProfileParseError as exc:
+        print(f"error: malformed profile: {exc}", file=sys.stderr)
+        return None, 2
+
+
+def _probed_module(args):
+    """The probe-instrumented pre-optimization IR the profile's probe ids
+    refer to (the same IR the sample loaders annotate)."""
+    from .probes import insert_pseudo_probes
+    module, _requests = _resolve_workload(args.workload, args.seed)
+    probed = module.clone()
+    insert_pseudo_probes(probed)
+    return probed
+
+
+def _emit_lint_events(report) -> None:
+    """Per-rule findings + the rollup through the obs event log (no-ops
+    without an installed session, i.e. without ``--events-out``)."""
+    for finding in report.findings:
+        obs.emit("lint_finding", rule=finding.rule,
+                 function=finding.function, detail=finding.detail,
+                 count=finding.count)
+    obs.emit("lint_summary", findings=len(report.findings),
+             functions_checked=report.functions_checked,
+             rules=sorted(report.rules_fired()))
+
+
+def _print_lint_findings(report) -> None:
+    for finding in report.findings:
+        print(f"  [{finding.rule}] {finding.function}: {finding.detail}")
+
+
+def cmd_lint(args) -> int:
+    """Statically audit a saved profile against the workload's CFGs.
+
+    The flow-consistency half of the profile CI gate (DESIGN.md sec. 12):
+    checksums say whether the profile describes this CFG, the linter says
+    whether its *counts* are even possible on it — flow conservation,
+    counts on unreachable blocks, entry-vs-body inversions, loop-depth
+    monotonicity, overflow signatures.  Exit 1 when anything fires.
+    """
+    from .analysis import LintConfig, lint_profile
+    profile, error = _load_profile_text(args.profile_file,
+                                        args.strict_profile)
+    if error is not None:
+        return error
+    probed = _probed_module(args)
+    config = LintConfig(rel_tol=args.rel_tol, abs_slack=args.abs_slack)
+    report = lint_profile(profile, probed, config)
+    _emit_lint_events(report)
+    print(f"lint {args.profile_file} vs workload {args.workload}: "
+          f"{report.functions_checked} functions checked, "
+          f"{report.functions_skipped} skipped")
+    _print_lint_findings(report)
+    if report.clean:
+        print("  verdict             CLEAN")
+        return 0
+    by_rule = ", ".join(f"{rule}={count}"
+                        for rule, count in sorted(report.by_rule().items()))
+    print(f"  verdict             {len(report.findings)} finding(s): "
+          f"{by_rule}")
+    return 1
+
+
 def cmd_validate(args) -> int:
     """Audit a saved profile against a freshly built binary.
 
@@ -172,27 +257,21 @@ def cmd_validate(args) -> int:
     identity must match the fresh build, the manifest's drop accounting must
     balance, and the recorded kind/record count must describe the profile
     actually on disk.
+
+    With ``--lint`` the flow-consistency linter (``repro lint``) runs on
+    the same profile; any finding fails the verdict.
     """
     from .annotate import validate_profile
-    from .profile import (ContextProfile, ProfileParseError,
-                          load_context_profile, load_flat_profile)
-    try:
-        with open(args.profile_file) as handle:
-            text = handle.read()
-    except OSError as exc:
-        print(f"error: cannot read profile: {exc}", file=sys.stderr)
-        return 2
-    try:
-        if text.lstrip().startswith("# kind: context"):
-            profile = load_context_profile(text, strict=args.strict_profile)
-        else:
-            profile = load_flat_profile(text, strict=args.strict_profile)
-    except ProfileParseError as exc:
-        print(f"error: malformed profile: {exc}", file=sys.stderr)
-        return 2
+    from .profile import ContextProfile
+    profile, error = _load_profile_text(args.profile_file,
+                                        args.strict_profile)
+    if error is not None:
+        return error
     module, _requests = _resolve_workload(args.workload, args.seed)
     artifacts = build(module, PGOVariant.CSSPGO_FULL)
-    report = validate_profile(profile, artifacts.binary, artifacts.probe_meta)
+    lint_module = _probed_module(args) if args.lint else None
+    report = validate_profile(profile, artifacts.binary, artifacts.probe_meta,
+                              lint_module=lint_module)
     ok = report.passed(min_match_rate=args.min_match_rate,
                        max_unknown=args.max_unknown)
     print(f"profile {args.profile_file} vs workload {args.workload}:")
@@ -200,6 +279,10 @@ def cmd_validate(args) -> int:
           f"({len(report.matched)}/{report.checked} checked)")
     print(f"  unknown functions   {len(report.unknown)}")
     print(f"  unchecked           {len(report.unchecked)}")
+    if args.lint and report.lint_report is not None:
+        _emit_lint_events(report.lint_report)
+        print(f"  lint findings       {len(report.lint_report.findings)}")
+        _print_lint_findings(report.lint_report)
     if args.manifest:
         try:
             manifest = obs.ProfileManifest.read(args.manifest)
@@ -341,6 +424,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--strict-profile", action="store_true",
                         help="raise on stale/malformed profiles instead of "
                              "the default drop-and-degrade")
+    parser.add_argument("--verify-each", action="store_true",
+                        help="run the IR verifier after every optimization "
+                             "pass in every build (slow, catches pass bugs "
+                             "at their source)")
+    parser.add_argument("--static-fill-cold", action="store_true",
+                        help="fill never-sampled functions with static "
+                             "pseudo-counts (hybrid static/sampled profiles)")
     parser.add_argument("--fault-spec", default=None, metavar="SPEC",
                         type=parse_fault_spec,
                         help="inject deterministic faults into every "
@@ -382,7 +472,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                    help="cross-check the profile against its provenance "
                         "manifest (binary identity, drop accounting, "
                         "kind/record count)")
+    p.add_argument("--lint", action="store_true",
+                   help="also run the flow-consistency linter; any finding "
+                        "fails the verdict")
     p.set_defaults(func=cmd_validate)
+    p = sub.add_parser(
+        "lint", help="statically audit a profile's counts against the CFG")
+    p.add_argument("profile_file", help="profile text file (repro profile -o)")
+    p.add_argument("workload")
+    p.add_argument("--rel-tol", type=float, default=0.5, metavar="FRAC",
+                   help="relative noise tolerance before a flow invariant "
+                        "counts as violated (default 0.5)")
+    p.add_argument("--abs-slack", type=float, default=10.0, metavar="N",
+                   help="absolute count slack on every invariant "
+                        "(default 10)")
+    p.set_defaults(func=cmd_lint)
     p = sub.add_parser(
         "report", help="render an event log as the observability dashboard")
     p.add_argument("events_file", help="JSONL event log (--events-out)")

@@ -17,7 +17,12 @@ least squares minimizes the L2 analogue and handles unknowns naturally):
   and the observed head/entry count.
 
 Block counts are then read back as inflow.  Functions with no observations
-at all are left untouched.
+at all are left untouched — unless ``static_fill`` is requested, in which
+case they receive static pseudo-counts from ``analysis.static_profile``
+(entry counts propagated from sampled callers, block counts from static
+branch-probability frequencies).  The blend is conservative by contract:
+functions inference ran on keep their counts bit-for-bit; only functions
+the sampler never saw are filled.
 """
 
 from __future__ import annotations
@@ -111,11 +116,25 @@ def infer_function_counts(fn: Function, head_count: Optional[float] = None) -> b
 
 
 def infer_module_counts(module: Module,
-                        head_counts: Optional[Dict[str, float]] = None) -> int:
-    """Run inference over every annotated function; returns how many ran."""
+                        head_counts: Optional[Dict[str, float]] = None,
+                        static_fill: bool = False) -> int:
+    """Run inference over every annotated function; returns how many ran.
+
+    With ``static_fill`` the functions inference could *not* run on (no
+    observations at all) are filled with static pseudo-counts instead of
+    staying count-less; see ``analysis.static_profile``.
+    """
     ran = 0
+    inferred: List[str] = []
     for name, fn in module.functions.items():
         head = head_counts.get(name) if head_counts else None
         if infer_function_counts(fn, head):
             ran += 1
+            inferred.append(name)
+    if static_fill:
+        from ..analysis.static_profile import fill_static_counts
+        known = {name: module.functions[name].entry_count
+                 for name in inferred
+                 if module.functions[name].entry_count is not None}
+        fill_static_counts(module, known_entries=known, skip=inferred)
     return ran

@@ -7,7 +7,7 @@ invalidation bugs).
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from .function import BasicBlock, Function
 
@@ -75,6 +75,66 @@ def dominators(fn: Function) -> Dict[str, Set[str]]:
                 dom[label] = new
                 changed = True
     return dom
+
+
+def immediate_dominators(fn: Function) -> Dict[str, Optional[str]]:
+    """Immediate dominators (label -> idom label, entry -> None).
+
+    Derived from the dominator sets: a block's idom is its deepest strict
+    dominator, i.e. the strict dominator with the largest dominator set.
+    """
+    dom = dominators(fn)
+    entry = fn.entry.label
+    idom: Dict[str, Optional[str]] = {entry: None}
+    for label, doms in dom.items():
+        if label == entry:
+            continue
+        strict = doms - {label}
+        idom[label] = max(strict, key=lambda d: (len(dom[d]), d))
+    return idom
+
+
+def back_edges(fn: Function) -> List[Tuple[str, str]]:
+    """Edges ``(tail, header)`` whose target dominates their source."""
+    dom = dominators(fn)
+    edges = []
+    for block in fn.blocks:
+        if block.label not in dom:
+            continue
+        for succ in block.successors():
+            if succ in dom[block.label]:
+                edges.append((block.label, succ))
+    return edges
+
+
+def is_reducible(fn: Function) -> bool:
+    """True when removing all back edges leaves the reachable CFG acyclic.
+
+    All structured control flow (the workload generator emits only
+    if/else and counted loops) is reducible; irreducible regions can only
+    come from hand-built IR, and analyses that rely on loop nesting
+    (frequency propagation, the profile linter's monotonicity rule) must
+    degrade gracefully on them.
+    """
+    reachable = reachable_blocks(fn)
+    removed = set(back_edges(fn))
+    indegree: Dict[str, int] = {label: 0 for label in reachable}
+    succs: Dict[str, List[str]] = {label: [] for label in reachable}
+    for label in reachable:
+        for succ in fn.block(label).successors():
+            if succ in reachable and (label, succ) not in removed:
+                succs[label].append(succ)
+                indegree[succ] += 1
+    worklist = [label for label, deg in sorted(indegree.items()) if deg == 0]
+    seen = 0
+    while worklist:
+        current = worklist.pop()
+        seen += 1
+        for succ in succs[current]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                worklist.append(succ)
+    return seen == len(reachable)
 
 
 class Loop:

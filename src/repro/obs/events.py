@@ -55,6 +55,10 @@ EVENT_TYPES: Dict[str, tuple] = {
     "span": ("name", "category", "duration_us"),
     # One SLO rule verdict (written back by ``repro report``).
     "slo_evaluated": ("rule", "verdict"),
+    # One profile-linter finding (``repro lint`` / ``repro validate --lint``).
+    "lint_finding": ("rule", "function", "detail"),
+    # End-of-lint rollup: total findings and functions checked.
+    "lint_summary": ("findings", "functions_checked", "rules"),
 }
 
 

@@ -30,6 +30,10 @@ Indicators are computed from the event stream by
 ``fault_events``
     total corruption events reported by injectors (useful for asserting a
     clean pipeline in CI).
+``lint_findings``
+    total flow-consistency violations reported by ``repro lint`` runs
+    (``lint_summary`` events); a clean lint contributes 0, no lint run at
+    all skips the rule.
 
 An indicator with no data evaluates to ``skip`` — a rule can only pass on
 evidence, never on absence of it, and a skipped rule never fails a build.
@@ -126,6 +130,8 @@ def default_rules() -> List[SLORule]:
                 "block overlap of trimmed profiles vs their raw form"),
         SLORule("bench-regression", "bench_regression", "<=", 0.25, 1.0,
                 "worst slowdown vs checked-in benchmark baseline"),
+        SLORule("lint-clean", "lint_findings", "<=", 0.0, 0.0,
+                "flow-consistency violations found by the profile linter"),
     ]
 
 
@@ -201,6 +207,11 @@ def compute_indicators(events: List[Event]) -> Dict[str, Optional[float]]:
                  if e.type == "faults_injected")
     indicators["fault_events"] = faults if any(
         e.type == "faults_injected" for e in events) else None
+
+    lint_runs = [e for e in events if e.type == "lint_summary"]
+    indicators["lint_findings"] = (
+        sum(float(e.get("findings", 0)) for e in lint_runs)
+        if lint_runs else None)
     return indicators
 
 

@@ -58,11 +58,14 @@ def build_pass_manager(config: OptConfig, profile_annotated: bool = False,
 
 
 def optimize_module(module: Module, config: OptConfig,
-                    profile_annotated: bool = False) -> None:
+                    profile_annotated: bool = False,
+                    verify_each: bool = False) -> None:
     """Run the full mid-end + layout pipeline in a fixed order.
 
     ``profile_annotated`` — True when block counts were annotated (by the
     sample loader or instrumentation profile reader) before optimization; it
     switches the inliner and unroller to their profile-guided heuristics.
+    ``verify_each`` — run the IR verifier after every pass (CLI
+    ``--verify-each``), trading compile time for early miscompile reports.
     """
-    build_pass_manager(config, profile_annotated).run(module)
+    build_pass_manager(config, profile_annotated, verify_each).run(module)

@@ -64,7 +64,9 @@ def build(source: Module, variant: PGOVariant,
           opt_config: Optional[OptConfig] = None,
           lower_config: Optional[LowerConfig] = None,
           instrument: bool = False,
-          strict_profile: bool = False) -> BuildArtifacts:
+          strict_profile: bool = False,
+          static_fill_cold: bool = False,
+          verify_each: bool = False) -> BuildArtifacts:
     """Compile ``source`` under ``variant``.
 
     ``profile`` — apply this profile (the optimizing build of the PGO cycle);
@@ -73,7 +75,11 @@ def build(source: Module, variant: PGOVariant,
     instrumentation profile (its dict of counters is passed as ``profile``);
     ``strict_profile`` — raise :class:`~repro.profile.errors.ProfileStaleError`
     on the first checksum-rejected function instead of the default per-function
-    drop-and-continue.
+    drop-and-continue;
+    ``static_fill_cold`` — fill never-sampled functions with static
+    pseudo-counts after inference (``analysis.static_profile``) instead of
+    leaving them count-less;
+    ``verify_each`` — run the IR verifier after every optimization pass.
     """
     module = source.clone()
     config = opt_config_for(variant, opt_config)
@@ -90,15 +96,19 @@ def build(source: Module, variant: PGOVariant,
     profile_annotated = False
     if profile is not None:
         if variant is PGOVariant.AUTOFDO:
-            annotation = annotate_autofdo(module, profile)
+            annotation = annotate_autofdo(module, profile,
+                                          static_fill=static_fill_cold)
         elif variant is PGOVariant.FS_AUTOFDO:
-            annotation = annotate_fs_autofdo_early(module, profile)
+            annotation = annotate_fs_autofdo_early(
+                module, profile, static_fill=static_fill_cold)
         elif variant is PGOVariant.CSSPGO_PROBE_ONLY:
             annotation = annotate_probe_flat(module, profile,
-                                             strict=strict_profile)
+                                             strict=strict_profile,
+                                             static_fill=static_fill_cold)
         elif variant is PGOVariant.CSSPGO_FULL:
             annotation = csspgo_sample_loader(module, profile, config,
-                                              strict=strict_profile)
+                                              strict=strict_profile,
+                                              static_fill=static_fill_cold)
             # The CS sample loader already inlined the pre-inliner's picks;
             # the pipeline inliner may still inline hot leftovers it can see,
             # but with a tightened callee-size bar (selectivity is the
@@ -122,14 +132,16 @@ def build(source: Module, variant: PGOVariant,
         from ..opt.layout import block_layout
         fs_config = copy.copy(config)
         fs_config.enable_layout = False
-        optimize_module(module, fs_config, profile_annotated=profile_annotated)
+        optimize_module(module, fs_config, profile_annotated=profile_annotated,
+                        verify_each=verify_each)
         assign_fs_discriminators(module)
         if profile is not None:
             annotate_fs_autofdo_late(module, profile)
         if config.enable_layout:
             block_layout(module, config)
     else:
-        optimize_module(module, config, profile_annotated=profile_annotated)
+        optimize_module(module, config, profile_annotated=profile_annotated,
+                        verify_each=verify_each)
 
     lowered = lower_module(module, lower_config)
     binary = link(module, lowered)

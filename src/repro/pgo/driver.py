@@ -98,7 +98,9 @@ class PGODriverConfig:
                  independent_profiling: bool = False,
                  max_instructions: int = 100_000_000,
                  fault_spec: Optional[FaultSpec] = None,
-                 strict_profile: bool = False):
+                 strict_profile: bool = False,
+                 static_fill_cold: bool = False,
+                 verify_each: bool = False):
         self.pmu = pmu or PMUConfig()
         self.opt = opt
         self.lower = lower
@@ -128,6 +130,12 @@ class PGODriverConfig:
         #: :class:`~repro.profile.errors.ProfileError` subclasses instead of
         #: degrading (per-function drop + fallback chain).
         self.strict_profile = strict_profile
+        #: Hybrid static/sampled profiles: fill never-sampled functions
+        #: with static pseudo-counts (``analysis.static_profile``) during
+        #: profile application.  Sampled functions are untouched.
+        self.static_fill_cold = static_fill_cold
+        #: Run the IR verifier after every optimization pass in every build.
+        self.verify_each = verify_each
 
 
 def run_pgo(source: Module, variant: PGOVariant,
@@ -368,7 +376,9 @@ def _build_optimized(source: Module, variant: PGOVariant, profile,
                               imap_from_profiling=current_imap,
                               opt_config=config.opt,
                               lower_config=config.lower,
-                              strict_profile=config.strict_profile)
+                              strict_profile=config.strict_profile,
+                              static_fill_cold=config.static_fill_cold,
+                              verify_each=config.verify_each)
             stats = artifacts.annotation
             usable = stats is None or stats.usable(
                 not _profile_is_empty(current_profile))
@@ -408,7 +418,8 @@ def _build_optimized(source: Module, variant: PGOVariant, profile,
         # Terminal variant raised in permissive mode (should not happen —
         # DWARF/plain loads never raise): last-ditch plain build.
         artifacts = build(source, PGOVariant.NONE, opt_config=config.opt,
-                          lower_config=config.lower)
+                          lower_config=config.lower,
+                          verify_each=config.verify_each)
     if chain:
         result.extras["fallback_chain"] = chain
         result.extras["fallback_reasons"] = reasons
@@ -484,7 +495,8 @@ def _run_pgo_cycle(source: Module, variant: PGOVariant,
     if variant is PGOVariant.NONE:
         with telemetry.span("optimizing-build", "stage"):
             result.final = build(source, variant, opt_config=config.opt,
-                                 lower_config=config.lower)
+                                 lower_config=config.lower,
+                                 verify_each=config.verify_each)
         with telemetry.span("evaluate", "stage"):
             result.eval = measure_run(result.final, eval_args,
                                       config.max_instructions)
@@ -496,7 +508,8 @@ def _run_pgo_cycle(source: Module, variant: PGOVariant,
             with telemetry.span("profiling-build", "stage"):
                 profiling = build(source, variant, instrument=True,
                                   opt_config=config.opt,
-                                  lower_config=config.lower)
+                                  lower_config=config.lower,
+                                  verify_each=config.verify_each)
             with telemetry.span("collect", "stage"):
                 cost = CostModel()
                 run = execute(profiling.binary, train_args, cost_model=cost,
@@ -538,7 +551,8 @@ def _run_pgo_cycle(source: Module, variant: PGOVariant,
         # before a single profile generation.
         with telemetry.span("profiling-build", "stage"):
             profiling = build(source, variant, opt_config=config.opt,
-                              lower_config=config.lower)
+                              lower_config=config.lower,
+                              verify_each=config.verify_each)
         result.profiling_build = profiling
         with telemetry.span("collect", "stage", jobs=jobs):
             data, samples_per_iteration = _collect_independent(
@@ -568,7 +582,9 @@ def _run_pgo_cycle(source: Module, variant: PGOVariant,
                 with telemetry.span("profiling-build", "stage"):
                     profiling = build(source, variant, profile=profile,
                                       opt_config=config.opt,
-                                      lower_config=config.lower)
+                                      lower_config=config.lower,
+                                      static_fill_cold=config.static_fill_cold,
+                                      verify_each=config.verify_each)
                 result.profiling_build = profiling
                 with telemetry.span("collect", "stage"):
                     data, measurement = _profile_collection(

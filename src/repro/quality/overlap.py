@@ -38,18 +38,31 @@ def block_overlap_function(f_counts: Dict[str, float],
 
 
 def block_overlap_program(f_profile: Dict[str, Dict[str, float]],
-                          gt_profile: Dict[str, Dict[str, float]]) -> float:
-    """D(P): weighted by each function's share of the test profile."""
+                          gt_profile: Dict[str, Dict[str, float]],
+                          weigh_by: str = "test") -> float:
+    """D(P): function overlaps aggregated under per-function weights.
+
+    ``weigh_by="test"`` (the paper's Table I convention) weights each
+    function by its share of the *test* profile — which silently forgives
+    a profile for *dropping* functions entirely (a dropped function has
+    zero test weight).  ``weigh_by="gt"`` weights by the ground-truth
+    share instead: every function the program actually executed counts,
+    so coverage gaps show up as lost overlap.  Use "gt" when comparing
+    estimators that differ in *which* functions they cover (e.g. the
+    static-fill hybrid vs a drop-cold baseline).
+    """
+    if weigh_by not in ("test", "gt"):
+        raise ValueError(f"weigh_by must be 'test' or 'gt', got {weigh_by!r}")
+    weighing = f_profile if weigh_by == "test" else gt_profile
     functions = set(f_profile) | set(gt_profile)
-    grand_total = sum(sum(counts.values())
-                      for counts in f_profile.values())
+    grand_total = sum(sum(counts.values()) for counts in weighing.values())
     if grand_total <= 0:
         return 0.0
     score = 0.0
     for name in functions:
         f_counts = f_profile.get(name, {})
         gt_counts = gt_profile.get(name, {})
-        weight = sum(f_counts.values()) / grand_total
+        weight = sum(weighing.get(name, {}).values()) / grand_total
         if weight <= 0:
             continue
         score += block_overlap_function(f_counts, gt_counts) * weight

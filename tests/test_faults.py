@@ -408,3 +408,47 @@ def test_cli_rejects_bad_fault_spec():
     from repro.cli import main
     with pytest.raises(SystemExit):
         main(["--fault-spec", "no_such_fault:1", "workloads"])
+
+
+# ---------------------------------------------------------------------------
+# lint cross-check: corrupted counts are *detectable*, not just survivable
+# ---------------------------------------------------------------------------
+
+#: Count-corrupting profile injectors -> (rules that must fire, rules that
+#: may fire).  The linter's side of the graceful-degradation story: the
+#: pipeline survives the corruption above, and ``repro lint`` names it.
+LINT_DETECTED = {
+    "missing_probes": ({"flow-conservation"},
+                       {"flow-conservation", "entry-inversion",
+                        "loop-monotonicity", "unreachable-block"}),
+    "extra_probes": ({"unknown-probe"}, {"unknown-probe"}),
+    "counter_overflow": ({"counter-overflow"},
+                         {"counter-overflow", "flow-conservation",
+                          "entry-inversion", "loop-monotonicity"}),
+}
+
+
+@pytest.mark.parametrize("name", sorted(LINT_DETECTED))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_count_corruption_flagged_by_lint(workload, context_profile, name,
+                                          seed):
+    from repro.analysis import lint_profile
+    probed = _probed(workload)
+    assert lint_profile(context_profile, probed).clean
+    faulted, report = apply_profile_faults(
+        context_profile, FaultSpec([(name, 0.6)], seed=seed))
+    assert report.total() > 0
+    must_fire, may_fire = LINT_DETECTED[name]
+    fired = lint_profile(faulted, probed).rules_fired()
+    assert must_fire <= fired <= may_fire
+
+
+def test_lint_survives_every_profile_injector(workload, context_profile):
+    """Non-count injectors (stale checksums, inline-tree mutations) may or
+    may not lint clean, but the linter itself never raises on them."""
+    from repro.analysis import lint_profile
+    probed = _probed(workload)
+    for name in PROFILE_INJECTORS:
+        faulted, _ = apply_profile_faults(
+            context_profile, FaultSpec([(name, 1.0)], seed=11))
+        lint_profile(faulted, probed)  # must not raise

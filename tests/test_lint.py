@@ -1,0 +1,310 @@
+"""Flow-consistency profile linter: rule catalog, tolerances, CLI, obs.
+
+Pinned in both directions: every count-corrupting injector is flagged
+with the right rule ids, and clean PMU-sampled profiles produce zero
+findings at default tolerances (across seeds and sampling periods).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import (RULES, LintConfig, LintFinding, lint_profile)
+from repro.cli import main
+from repro.codegen import build_probe_metadata, link
+from repro.correlate import generate_context_profile, generate_probe_profile
+from repro.faults import apply_profile_faults, parse_fault_spec
+from repro.hw import PMUConfig, execute, make_pmu
+from repro.ir.instructions import PseudoProbe
+from repro.obs import read_event_log
+from repro.opt import OptConfig, optimize_module
+from repro.probes import insert_pseudo_probes
+from repro.profile import FlatProfile, dump_context_profile
+from repro.workloads import WorkloadSpec, build_workload
+
+SEEDS = [int(s) for s in
+         os.environ.get("REPRO_FAULT_SEEDS", "11,23,47").split(",")]
+
+
+@pytest.fixture(scope="module")
+def probed():
+    """The probe-instrumented IR the ``faults`` workload's profiles map to."""
+    module = build_workload(WorkloadSpec("faults", seed=5))
+    clone = module.clone()
+    insert_pseudo_probes(clone)
+    return clone
+
+
+@pytest.fixture(scope="module")
+def collected(probed):
+    built = probed.clone()
+    optimize_module(built, OptConfig(), profile_annotated=False)
+    binary = link(built)
+    meta = build_probe_metadata(binary, built)
+    pmu = make_pmu(PMUConfig(period=67))
+    run = execute(binary, [40], pmu=pmu)
+    return binary, meta, pmu.finish(run.instructions_retired)
+
+
+@pytest.fixture(scope="module")
+def flat_profile(collected):
+    binary, meta, data = collected
+    return generate_probe_profile(binary, data, meta)
+
+
+def _block_probes(fn):
+    probes = {}
+    for block in fn.blocks:
+        for instr in block.instrs:
+            if isinstance(instr, PseudoProbe) and not instr.inline_stack:
+                probes[block.label] = instr.probe_id
+    return probes
+
+
+class TestCleanProfiles:
+    """Zero false positives on honest sampled profiles."""
+
+    def test_flat_profile_clean(self, probed, flat_profile):
+        report = lint_profile(flat_profile, probed)
+        assert report.clean
+        assert report.functions_checked > 0
+
+    def test_context_profile_clean_via_flatten(self, probed, collected):
+        binary, meta, data = collected
+        profile, _ = generate_context_profile(binary, data, meta)
+        report = lint_profile(profile, probed)
+        assert report.clean
+
+    @pytest.mark.parametrize("period", [31, 199])
+    def test_clean_across_periods(self, probed, period):
+        built = probed.clone()
+        optimize_module(built, OptConfig(), profile_annotated=False)
+        binary = link(built)
+        meta = build_probe_metadata(binary, built)
+        pmu = make_pmu(PMUConfig(period=period))
+        run = execute(binary, [40], pmu=pmu)
+        profile = generate_probe_profile(
+            binary, pmu.finish(run.instructions_retired), meta)
+        assert lint_profile(profile, probed).clean
+
+
+class TestInjectorDetection:
+    """Each count-corrupting injector trips the rules that own its damage."""
+
+    EXPECTED = {
+        # injector -> rule ids it must fire (subset; nothing else may fire
+        # beyond the companion rules listed second).
+        "missing_probes": ({"flow-conservation"},
+                           {"flow-conservation", "entry-inversion",
+                            "loop-monotonicity", "unreachable-block"}),
+        "extra_probes": ({"unknown-probe"}, {"unknown-probe"}),
+        "counter_overflow": ({"counter-overflow"},
+                             {"counter-overflow", "flow-conservation",
+                              "entry-inversion", "loop-monotonicity"}),
+    }
+
+    @pytest.mark.parametrize("injector", sorted(EXPECTED))
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_injector_flagged_with_right_rules(self, probed, flat_profile,
+                                               injector, seed):
+        spec = parse_fault_spec(f"{injector}:0.5@seed={seed}")
+        corrupted, injection = apply_profile_faults(flat_profile, spec)
+        assert injection.total() > 0
+        report = lint_profile(corrupted, probed)
+        must_fire, may_fire = self.EXPECTED[injector]
+        fired = report.rules_fired()
+        assert must_fire <= fired
+        assert fired <= may_fire
+
+    def test_three_distinct_violation_classes(self, probed, flat_profile):
+        """The acceptance criterion: >= 3 distinct rule ids across the
+        count-corrupting injector family."""
+        fired = set()
+        for injector in sorted(self.EXPECTED):
+            spec = parse_fault_spec(f"{injector}:0.6@seed=11")
+            corrupted, _ = apply_profile_faults(flat_profile, spec)
+            fired |= lint_profile(corrupted, probed).rules_fired()
+        assert len(fired) >= 3
+
+    def test_corruption_never_mutates_input(self, probed, flat_profile):
+        spec = parse_fault_spec("counter_overflow:0.5@seed=11")
+        apply_profile_faults(flat_profile, spec)
+        assert lint_profile(flat_profile, probed).clean
+
+
+class TestRuleUnits:
+    """Hand-built profiles hit each rule deterministically."""
+
+    def _profile_for(self, probed, name, counts, head=100.0):
+        fn = probed.functions[name]
+        probes = _block_probes(fn)
+        profile = FlatProfile(FlatProfile.KIND_PROBE)
+        samples = profile.get_or_create(name)
+        samples.head = head
+        samples.checksum = fn.probe_checksum
+        for label, count in counts.items():
+            samples.add_body(probes[label], count)
+        profile.finalize()
+        return profile
+
+    @pytest.fixture(scope="class")
+    def exact(self, probed):
+        """Exact per-block counts for one warm loop function."""
+        for name, fn in probed.functions.items():
+            labels = [b.label for b in fn.blocks]
+            from repro.analysis import LoopInfo
+            li = LoopInfo(fn)
+            if li.loops and li.reducible and len(labels) >= 4:
+                return name
+        pytest.skip("no loop function in workload")
+
+    def test_exact_counts_are_clean(self, probed):
+        # Entry 100, loop spins 50x: flow-consistent by construction.
+        name = "main"
+        fn = probed.functions[name]
+        probes = _block_probes(fn)
+        counts = {label: 100.0 for label in probes}
+        profile = self._profile_for(probed, name, counts)
+        report = lint_profile(profile, probed)
+        assert not report.rules_fired() - {"flow-conservation"}
+
+    def test_unknown_probe(self, probed):
+        name = next(iter(probed.functions))
+        profile = self._profile_for(probed, name, {})
+        profile.functions[name].add_body(9999, 5.0)
+        report = lint_profile(profile, probed)
+        assert "unknown-probe" in report.rules_fired()
+
+    def test_counter_overflow_body_and_head(self, probed):
+        name = next(iter(probed.functions))
+        fn = probed.functions[name]
+        label = fn.entry.label
+        profile = self._profile_for(probed, name, {label: float(2 ** 63)})
+        assert "counter-overflow" in \
+            lint_profile(profile, probed).rules_fired()
+        profile = self._profile_for(probed, name, {}, head=float(2 ** 63))
+        assert "counter-overflow" in \
+            lint_profile(profile, probed).rules_fired()
+
+    def test_flow_conservation_inflow_violation(self, probed):
+        # A non-entry block massively outrunning all its predecessors.
+        for name, fn in probed.functions.items():
+            probes = _block_probes(fn)
+            non_entry = [b.label for b in fn.blocks
+                         if b.label != fn.entry.label and b.label in probes]
+            if not non_entry:
+                continue
+            counts = {label: 10.0 for label in probes}
+            counts[non_entry[-1]] = 100000.0
+            profile = self._profile_for(probed, name, counts)
+            assert "flow-conservation" in \
+                lint_profile(profile, probed).rules_fired()
+            return
+        pytest.skip("no multi-block function")
+
+    def test_tolerance_band_absorbs_noise(self, probed):
+        # 30% inflow overshoot sits inside the default 50% band.
+        config = LintConfig()
+        assert not config.exceeds(130.0, 100.0)
+        assert config.exceeds(200.0, 100.0)
+        # The entry-inversion band is wider (sampling bias), 5x + slack.
+        assert not config.exceeds_inversion(400.0, 100.0)
+        assert config.exceeds_inversion(600.0, 100.0)
+
+    def test_rules_catalog_is_closed(self):
+        with pytest.raises(AssertionError):
+            LintFinding("not-a-rule", "f", "detail")
+        assert set(RULES) == {
+            "flow-conservation", "unknown-probe", "unreachable-block",
+            "entry-inversion", "loop-monotonicity", "counter-overflow"}
+
+    def test_dwarf_profiles_skipped(self, probed):
+        profile = FlatProfile(FlatProfile.KIND_DWARF)
+        samples = profile.get_or_create("main")
+        samples.add_body(("file.c", 12), 50.0)
+        report = lint_profile(profile, probed)
+        assert report.functions_skipped == 1
+        assert report.functions_checked == 0
+        assert report.clean
+
+
+class TestLintCli:
+    def _write_profile(self, tmp_path, corrupt=None):
+        out_file = tmp_path / "ctx.prof"
+        assert main(["--period", "67", "--seed", "5",
+                     "profile", "faults", "-o", str(out_file)]) == 0
+        if corrupt:
+            from repro.profile import load_context_profile
+            profile = load_context_profile(out_file.read_text())
+            profile, _ = apply_profile_faults(
+                profile, parse_fault_spec(corrupt))
+            out_file.write_text(dump_context_profile(profile))
+        return out_file
+
+    def test_clean_profile_exits_zero(self, tmp_path, capsys):
+        out_file = self._write_profile(tmp_path)
+        assert main(["--seed", "5", "lint", str(out_file), "faults"]) == 0
+        assert "CLEAN" in capsys.readouterr().out
+
+    def test_corrupted_profile_exits_one(self, tmp_path, capsys):
+        out_file = self._write_profile(
+            tmp_path, corrupt="counter_overflow:0.5@seed=11")
+        assert main(["--seed", "5", "lint", str(out_file), "faults"]) == 1
+        out = capsys.readouterr().out
+        assert "counter-overflow" in out
+        assert "finding(s)" in out
+
+    def test_lint_events_emitted(self, tmp_path):
+        out_file = self._write_profile(
+            tmp_path, corrupt="extra_probes:0.5@seed=11")
+        events_file = tmp_path / "events.jsonl"
+        main(["--seed", "5", "--events-out", str(events_file),
+              "lint", str(out_file), "faults"])
+        events, malformed = read_event_log(str(events_file))
+        assert malformed == 0
+        findings = [e for e in events if e.type == "lint_finding"]
+        summaries = [e for e in events if e.type == "lint_summary"]
+        assert findings and len(summaries) == 1
+        assert all(e.get("rule") == "unknown-probe" for e in findings)
+        assert summaries[0].get("findings") == len(findings)
+        assert summaries[0].get("rules") == ["unknown-probe"]
+
+    def test_validate_lint_flag(self, tmp_path, capsys):
+        out_file = self._write_profile(tmp_path)
+        assert main(["--seed", "5", "validate", str(out_file), "faults",
+                     "--lint"]) == 0
+        assert "lint findings       0" in capsys.readouterr().out
+
+    def test_malformed_profile_exits_two_in_strict_mode(self, tmp_path):
+        bad = tmp_path / "bad.prof"
+        bad.write_text("# kind: context\nthis is not a profile\n")
+        assert main(["--seed", "5", "--strict-profile",
+                     "lint", str(bad), "faults"]) == 2
+
+
+class TestLintSlo:
+    def test_lint_findings_indicator_and_rule(self, tmp_path):
+        from repro.obs import default_rules, evaluate_health
+        out_file = tmp_path / "ctx.prof"
+        main(["--period", "67", "--seed", "5",
+              "profile", "faults", "-o", str(out_file)])
+        from repro.profile import load_context_profile
+        profile = load_context_profile(out_file.read_text())
+        profile, _ = apply_profile_faults(
+            profile, parse_fault_spec("extra_probes:0.5@seed=11"))
+        out_file.write_text(dump_context_profile(profile))
+        events_file = tmp_path / "events.jsonl"
+        main(["--seed", "5", "--events-out", str(events_file),
+              "lint", str(out_file), "faults"])
+        events, _ = read_event_log(str(events_file))
+        report = evaluate_health(events)
+        result = {r.rule.name: r for r in report.results}["lint-clean"]
+        assert result.verdict == "fail"
+        assert result.value and result.value > 0
+
+    def test_no_lint_run_skips_rule(self):
+        from repro.obs import evaluate_health
+        report = evaluate_health([])
+        result = {r.rule.name: r for r in report.results}["lint-clean"]
+        assert result.verdict == "skip"

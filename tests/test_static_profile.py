@@ -1,0 +1,218 @@
+"""Static profile estimation: blend contract and profile quality.
+
+The two acceptance gates for the estimator:
+
+* **byte-identity differential** — with full sample coverage (every
+  executed function sampled), enabling ``static_fill`` changes nothing:
+  the annotated module is bit-for-bit identical, because the blend only
+  ever touches functions inference could not run on;
+* **hybrid beats both baselines** — under partial coverage (a sparse
+  sampling period leaves executed functions unsampled), the
+  sampled+static hybrid scores a strictly better gt-weighted block
+  overlap against exact interpreter ground truth than (a) the drop-cold
+  baseline that leaves cold functions count-less and (b) the pure-static
+  estimate with no samples at all.
+"""
+
+import pytest
+
+from repro.analysis import (COLD_ENTRY_FALLBACK, estimate_entry_counts,
+                            fill_static_counts, synthesize_function_samples,
+                            top_down_order)
+from repro.annotate.sample_loader import annotate_probe_flat
+from repro.codegen import build_probe_metadata, link
+from repro.correlate import generate_probe_profile
+from repro.hw import PMUConfig, execute, make_pmu
+from repro.ir import IRInterpreter, ModuleBuilder, verify_module
+from repro.opt import OptConfig, optimize_module
+from repro.probes import insert_pseudo_probes
+from repro.quality import block_overlap_program, module_block_counts
+from repro.workloads import WorkloadSpec, build_workload
+
+
+def _probed(module):
+    clone = module.clone()
+    insert_pseudo_probes(clone)
+    return clone
+
+
+def _collect_flat(module, requests, period):
+    """One build + PMU collection -> probe-keyed flat profile."""
+    probed = _probed(module)
+    built = probed.clone()
+    optimize_module(built, OptConfig(), profile_annotated=False)
+    binary = link(built)
+    meta = build_probe_metadata(binary, built)
+    pmu = make_pmu(PMUConfig(period=period))
+    run = execute(binary, [requests], pmu=pmu)
+    data = pmu.finish(run.instructions_retired)
+    return generate_probe_profile(binary, data, meta)
+
+
+def _annotated_counts(module):
+    """(fn, label) -> count for every annotated block, None-count blocks
+    included so the comparison is exact, not just over warm blocks."""
+    return {(name, block.label): block.count
+            for name, fn in module.functions.items()
+            for block in fn.blocks}
+
+
+def build_dense_module():
+    """Every function hot: full sample coverage at a dense period."""
+    mb = ModuleBuilder("dense")
+    f = mb.function("work_a", ["%n"])
+    f.block("entry").mov("%i", 0).mov("%s", 0).br("loop")
+    f.block("loop").cmp("slt", "%c", "%i", "%n").condbr("%c", "body", "done")
+    f.block("body").add("%s", "%s", "%i").add("%i", "%i", 1).br("loop")
+    f.block("done").ret("%s")
+    f = mb.function("work_b", ["%n"])
+    f.block("entry").call("%r", "work_a", ["%n"]).mul("%r", "%r", 2).ret("%r")
+    f = mb.function("main", ["%n"])
+    f.block("entry").mov("%i", 0).mov("%acc", 0).br("loop")
+    f.block("loop").cmp("slt", "%c", "%i", "%n").condbr("%c", "body", "done")
+    f.block("body").call("%x", "work_a", [40]).call("%y", "work_b", [25]) \
+        .add("%acc", "%acc", "%x").add("%acc", "%acc", "%y") \
+        .add("%i", "%i", 1).br("loop")
+    f.block("done").ret("%acc")
+    module = mb.build()
+    verify_module(module)
+    return module
+
+
+class TestBlendContract:
+    def test_full_coverage_byte_identity(self):
+        module = build_dense_module()
+        profile = _collect_flat(module, 30, period=7)
+        # Precondition: the profile really covers every function.
+        assert set(profile.functions) >= set(module.functions)
+
+        plain = _probed(module)
+        annotate_probe_flat(plain, profile)
+        hybrid = _probed(module)
+        annotate_probe_flat(hybrid, profile, static_fill=True)
+
+        assert _annotated_counts(plain) == _annotated_counts(hybrid)
+        for name in module.functions:
+            assert plain.functions[name].entry_count == \
+                hybrid.functions[name].entry_count
+
+    def test_static_fill_never_touches_sampled_functions(self):
+        spec = WorkloadSpec("blend", seed=9)
+        module = build_workload(spec)
+        profile = _collect_flat(module, spec.requests, period=101)
+
+        plain = _probed(module)
+        annotate_probe_flat(plain, profile)
+        hybrid = _probed(module)
+        stats = annotate_probe_flat(hybrid, profile, static_fill=True)
+
+        plain_counts = _annotated_counts(plain)
+        hybrid_counts = _annotated_counts(hybrid)
+        changed = {name for (name, label), count in hybrid_counts.items()
+                   if plain_counts[(name, label)] != count}
+        # Exactly the functions the sampled path left count-less changed...
+        cold = {name for name in stats.no_profile
+                if all(plain_counts[(name, b.label)] is None
+                       for b in plain.functions[name].blocks)}
+        assert changed <= cold
+        # ...and they now all carry counts (that is the point of the fill).
+        for name in cold:
+            for block in hybrid.functions[name].blocks:
+                assert block.count is not None
+
+    def test_fill_skips_explicit_skip_list(self):
+        module = _probed(build_dense_module())
+        filled = fill_static_counts(module, skip=["main"])
+        assert "main" not in filled
+        assert all(b.count is None for b in module.functions["main"].blocks)
+        assert "work_a" in filled and "work_b" in filled
+
+
+class TestEntryEstimation:
+    def test_top_down_order_callers_first(self):
+        module = build_dense_module()
+        order = top_down_order(module)
+        assert order.index("main") < order.index("work_a")
+        assert order.index("main") < order.index("work_b")
+        assert order.index("work_b") < order.index("work_a")
+
+    def test_known_entries_propagate_to_callees(self):
+        module = _probed(build_dense_module())
+        estimates = estimate_entry_counts(module, known={"main": 1000.0})
+        assert estimates["main"] == 1000.0
+        # main's loop body calls both workers ~8x per entry (static trips).
+        assert estimates["work_b"] == pytest.approx(7000.0, rel=1e-3)
+        # work_a is called from main's body and from work_b's entry.
+        assert estimates["work_a"] == pytest.approx(14000.0, rel=1e-3)
+
+    def test_uncalled_function_gets_fallback(self):
+        mb = ModuleBuilder("m")
+        f = mb.function("orphan", ["%x"])
+        f.block("entry").ret("%x")
+        f = mb.function("main", ["%x"])
+        f.block("entry").ret("%x")
+        module = mb.build()
+        estimates = estimate_entry_counts(module, known={"main": 50.0})
+        assert estimates["orphan"] == COLD_ENTRY_FALLBACK
+
+    def test_synthesized_samples_probe_keyed(self):
+        module = _probed(build_dense_module())
+        fn = module.functions["work_a"]
+        samples = synthesize_function_samples(fn, entry_count=100.0)
+        assert samples.name == "work_a"
+        assert samples.head == 100.0
+        assert samples.checksum == fn.probe_checksum
+        assert samples.body and all(isinstance(k, int) for k in samples.body)
+        # Loop header probe carries ~8x the entry mass (static trip count 8).
+        assert max(samples.body.values()) == pytest.approx(800.0, rel=1e-3)
+
+
+class TestHybridQuality:
+    """The regression gate: hybrid > drop-cold and hybrid > pure-static."""
+
+    @pytest.fixture(scope="class")
+    def quality_scores(self):
+        requests = 5
+        module = build_workload(WorkloadSpec("hybridq", seed=17))
+        # Sparse sampling on a short run: several executed functions get
+        # no samples at all (the gap the estimator exists to fill).
+        profile = _collect_flat(module, requests, period=503)
+
+        gt_result = IRInterpreter(module.clone()).run([requests])
+        gt = {}
+        for (name, label), count in gt_result.block_counts.items():
+            gt.setdefault(name, {})[label] = float(count)
+
+        drop_cold = _probed(module)
+        annotate_probe_flat(drop_cold, profile)
+        hybrid = _probed(module)
+        annotate_probe_flat(hybrid, profile, static_fill=True)
+        pure_static = _probed(module)
+        fill_static_counts(pure_static)
+
+        scores = {
+            name: block_overlap_program(module_block_counts(m), gt,
+                                        weigh_by="gt")
+            for name, m in (("drop_cold", drop_cold), ("hybrid", hybrid),
+                            ("pure_static", pure_static))
+        }
+        # The partial-coverage premise: the sampler really missed executed
+        # functions, otherwise this fixture tests nothing.
+        sampled = {n for n, fn in drop_cold.functions.items()
+                   if any(b.count is not None for b in fn.blocks)}
+        executed = set(gt)
+        assert executed - sampled, "period too dense for a coverage gap"
+        return scores
+
+    def test_hybrid_beats_drop_cold(self, quality_scores):
+        assert quality_scores["hybrid"] > quality_scores["drop_cold"]
+
+    def test_hybrid_beats_pure_static(self, quality_scores):
+        assert quality_scores["hybrid"] > quality_scores["pure_static"]
+
+    def test_hybrid_clears_margin(self, quality_scores):
+        """Regression gate with teeth: the hybrid's edge over the better
+        baseline stays above a pinned margin."""
+        best_baseline = max(quality_scores["drop_cold"],
+                            quality_scores["pure_static"])
+        assert quality_scores["hybrid"] >= best_baseline + 0.01
