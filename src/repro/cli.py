@@ -58,7 +58,9 @@ def _config(args) -> PGODriverConfig:
         fault_spec=args.fault_spec,
         strict_profile=args.strict_profile,
         static_fill_cold=args.static_fill_cold,
-        verify_each=args.verify_each)
+        verify_each=args.verify_each,
+        profgen_shards=args.shards,
+        profgen_jobs=args.jobs)
 
 
 def _parse_variants(spec: str) -> Optional[List[PGOVariant]]:
@@ -125,7 +127,7 @@ def cmd_quality(args) -> int:
 def cmd_profile(args) -> int:
     import time
 
-    from .correlate import generate_context_profile
+    from .correlate import generate_context_profile, generate_sharded_profile
     from .profile import dump_context_profile
     from .profile.stats import profile_stats
     module, requests = _resolve_workload(args.workload, args.seed)
@@ -133,8 +135,23 @@ def cmd_profile(args) -> int:
     pmu = make_pmu(PMUConfig(period=args.period))
     run = execute(artifacts.binary, [requests], pmu=pmu)
     data = pmu.finish(run.instructions_retired)
-    profile, inferrer = generate_context_profile(
-        artifacts.binary, data, artifacts.probe_meta)
+    samples_used = None
+    drops = {}
+    shard_provenance = None
+    if args.shards > 1:
+        outcome = generate_sharded_profile(
+            artifacts.binary, data, "context", artifacts.probe_meta,
+            shards=args.shards, jobs=args.jobs)
+        profile = outcome.profile
+        # Sharded generation carries exact accounting on the merged
+        # ProfileMap — no telemetry session needed to manifest it.
+        samples_used = outcome.profile_map.used_samples
+        drops = {f"correlate.drop.{reason}": count for reason, count
+                 in sorted(outcome.profile_map.dropped.items())}
+        shard_provenance = outcome.shard_provenance
+    else:
+        profile, _inferrer = generate_context_profile(
+            artifacts.binary, data, artifacts.probe_meta)
     text = dump_context_profile(profile)
     if args.output:
         with open(args.output, "w") as handle:
@@ -152,9 +169,12 @@ def cmd_profile(args) -> int:
                   "period": data.period, "lbr_depth": data.lbr_depth,
                   "pebs": data.pebs,
                   "instructions_retired": data.instructions_retired,
-                  "binary_id": data.binary_id},
+                  "binary_id": data.binary_id,
+                  "samples_used": samples_used},
+            drops=drops,
             profile_stats=profile_stats(profile),
-            created_at=time.time())
+            created_at=time.time(),
+            shards=shard_provenance)
         manifest_path = obs.manifest_path_for(args.output)
         manifest.write(manifest_path)
         print(f"wrote provenance manifest to {manifest_path}")
@@ -304,6 +324,9 @@ def cmd_validate(args) -> int:
             ("record count",
              recorded is None or int(recorded) == records,
              f"manifest says {recorded}, profile has {records}"),
+            ("shard accounting", manifest.shard_accounting_consistent(),
+             f"{len(manifest.shards)} shard(s) sum to merged drops"
+             if manifest.shards else "unsharded"),
         ]
         print(f"  manifest {args.manifest}:")
         for name, passed, detail in checks:
@@ -408,8 +431,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--iterations", type=int, default=2,
                         help="continuous-profiling iterations")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
-                        help="worker processes for compare: variants run in "
-                             "parallel, results stay byte-identical to -j1")
+                        help="worker processes: compare runs variants in "
+                             "parallel; with --shards, profile generation "
+                             "fans shards out over N workers — results stay "
+                             "byte-identical to -j1")
+    parser.add_argument("--shards", type=int, default=1, metavar="N",
+                        help="partition profile generation into N "
+                             "deterministic payload shards and merge the "
+                             "partial profiles (byte-identical to unsharded; "
+                             "pair with --jobs for a worker pool)")
     parser.add_argument("--seed", type=int, default=0,
                         help="generator seed for ad-hoc workloads")
     parser.add_argument("--stats", action="store_true",

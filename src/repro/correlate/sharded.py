@@ -1,0 +1,348 @@
+"""Sharded profile generation: partition deduped payloads across a process
+pool and merge byte-identical partial profiles (DESIGN.md sec. 13).
+
+Profile generation is embarrassingly parallel *after* pre-aggregation: each
+unique ``(lbr, stack)`` payload unwinds independently, and every profile
+count is an additive fold over payloads (DWARF's max-heuristic runs on
+merged address totals, see below).  The engine therefore:
+
+1. deduplicates once in the parent (:meth:`PerfData.aggregated`);
+2. partitions the unique payloads deterministically by an FNV-1a payload
+   hash (:func:`~repro.hw.perf_data.payload_shard`) — stable across
+   processes and reruns, and cache-friendly: the per-branch memos a
+   payload warms are reused by the other payloads the same shard owns;
+3. unwinds each shard independently — in pool workers (``jobs > 1``) or
+   in-process (``jobs <= 1``, zero IPC, same code path);
+4. merges the per-shard :class:`~repro.profile.merge.ProfileMap` partials
+   in shard order through the mergeable-profile layer.
+
+**Byte-identity invariants** (pinned by differential tests):
+
+* every profile count is an exact integer-valued float sum, so partial
+  sums over any payload partition reproduce the unpartitioned totals;
+* DWARF partials exchange *address-level* counts
+  (:class:`~repro.profile.merge.DwarfRangeCounts`) because the
+  max-heuristic is not additive; the collapse runs once, on merged totals;
+* the tail-call graph feeding frame inference is built once in the parent
+  from the **full** sample stream — a per-shard graph would repair frames
+  differently and change merged bytes;
+* context keys are re-interned through one parent-side
+  :class:`~repro.profile.context.ContextTrie` at merge time, restoring
+  canonical-tuple identity across shard-local interners.
+
+Worker observability rejoins the parent the same way
+:func:`~repro.pgo.driver.compare_variants` does: telemetry sessions merge
+(counters add, spans/remarks append) and worker events re-emit in shard
+order.  Drop accounting is per-payload and therefore partitions exactly —
+``used + dropped == total`` holds for every shard and for the merge —
+while cache/fallback counters may legitimately exceed the serial run's
+(a payload-independent lookup repeated per shard); only profile bytes are
+contractually identical.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+from .. import obs, telemetry
+from ..codegen.binary import Binary
+from ..codegen.probe_metadata import ProbeMetadata
+from ..hw.perf_data import AggregatedSample, PerfData, payload_shard
+from ..profile.context import ContextTrie
+from ..profile.merge import KIND_DWARF_RANGES, ProfileMap
+from ..profile.profiles import FlatProfile
+from .frame_inferrer import TailCallGraph
+from .profgen import (RawAggregation, _emit_index_stats,
+                      _index_stats_snapshot, aggregate_samples,
+                      context_profile_from_agg, dwarf_profile_from_counts,
+                      dwarf_range_counts, probe_profile_from_agg)
+
+#: Supported generation modes (``context`` covers context_noinf via
+#: ``use_inferrer=False``).
+SHARDED_MODES = ("dwarf", "probe", "context")
+
+
+def partition_entries(entries: List[AggregatedSample],
+                      shards: int) -> List[List[AggregatedSample]]:
+    """Split aggregated entries into ``shards`` deterministic buckets.
+
+    Bucketing is by FNV-1a payload hash, so the partition is a pure
+    function of the payloads — independent of process, platform, and
+    ``PYTHONHASHSEED``.  First-occurrence order is preserved within each
+    bucket (the order :meth:`PerfData.aggregated` guarantees).
+    """
+    if shards <= 1:
+        return [list(entries)]
+    buckets: List[List[AggregatedSample]] = [[] for _ in range(shards)]
+    for entry in entries:
+        sample = entry.sample
+        buckets[payload_shard(sample.lbr, sample.stack, shards)].append(entry)
+    return buckets
+
+
+def _build_partial(binary: Binary, probe_meta: Optional[ProbeMetadata],
+                   mode: str, use_inferrer: bool, fast: bool,
+                   graph: Optional[TailCallGraph],
+                   entries: List[AggregatedSample]
+                   ) -> Tuple[ProfileMap, Optional[Tuple[int, int]]]:
+    """Unwind one shard's payloads and build its mergeable partial.
+
+    Runs identically in-process and in a pool worker; returns the partial
+    plus the shard's frame-inference ``(attempted, recovered)`` pair
+    (``None`` for modes that never infer).
+    """
+    tel = telemetry.enabled()
+    before = _index_stats_snapshot(binary) if tel else {}
+    agg, inferrer = aggregate_samples(
+        binary, None, use_inferrer=(mode == "context" and use_inferrer),
+        dedup=True, entries=entries, graph=graph)
+    if mode == "dwarf":
+        payload = dwarf_range_counts(binary, agg, fast=fast)
+    elif mode == "probe":
+        payload = probe_profile_from_agg(binary, agg, probe_meta, fast=fast)
+    else:
+        payload = context_profile_from_agg(binary, agg, probe_meta, fast=fast)
+    partial = ProfileMap(payload, binary_id=binary.identity())
+    partial.record_aggregation(agg)
+    if tel:
+        _emit_index_stats(binary, before)
+    inference = ((inferrer.attempted, inferrer.recovered)
+                 if inferrer is not None else None)
+    return partial, inference
+
+
+#: Per-worker state installed by the pool initializer.  Only the
+#: *data-independent* inputs live here — the binary (the expensive pickle),
+#: probe metadata, and mode flags — pickled once per worker instead of once
+#: per shard task.  Data-dependent state (the tail-call graph, the parent's
+#: observability switches) travels with each task, so one pool can serve
+#: many sample streams (:class:`ShardedProfgenPool`).
+_POOL_STATE: Dict[str, object] = {}
+
+
+def _pool_init(binary, probe_meta, mode, use_inferrer, fast) -> None:
+    _POOL_STATE.update(binary=binary, probe_meta=probe_meta, mode=mode,
+                       use_inferrer=use_inferrer, fast=fast)
+
+
+def _pool_worker(entries: List[AggregatedSample],
+                 graph: Optional[TailCallGraph],
+                 collect_telemetry: bool, collect_events: bool):
+    """Build one shard's partial in a pool worker (module-level, picklable).
+
+    When the parent is collecting telemetry/events, the worker collects
+    into fresh local sessions and ships them back for merge — parallelism
+    must not punch holes in observability (same contract as
+    :func:`~repro.pgo.driver._run_pgo_worker`).
+    """
+    state = _POOL_STATE
+    session = (telemetry.enable(telemetry.TelemetrySession())
+               if collect_telemetry else None)
+    obs_session = obs.install() if collect_events else None
+    try:
+        partial, inference = _build_partial(
+            state["binary"], state["probe_meta"], state["mode"],
+            state["use_inferrer"], state["fast"], graph, entries)
+    finally:
+        if collect_telemetry:
+            telemetry.disable()
+        if obs_session is not None:
+            obs.uninstall()
+    events = (obs.events_to_dicts(obs_session.log.events)
+              if obs_session is not None else None)
+    return partial, inference, session, events
+
+
+def _run_pool(pool: ProcessPoolExecutor, buckets: List[List[AggregatedSample]],
+              graph: Optional[TailCallGraph]
+              ) -> List[Tuple[ProfileMap, Optional[Tuple[int, int]]]]:
+    """Dispatch shard buckets to ``pool`` and rejoin worker observability."""
+    parent_session = telemetry.current()
+    parent_obs = obs.active()
+    futures = [pool.submit(_pool_worker, bucket, graph,
+                           parent_session is not None, parent_obs is not None)
+               for bucket in buckets]
+    outcomes: List[Tuple[ProfileMap, Optional[Tuple[int, int]]]] = []
+    for future in futures:  # shard order
+        partial, inference, session, events = future.result()
+        if parent_session is not None and session is not None:
+            parent_session.merge(session)
+        if parent_obs is not None and events:
+            for record in events:
+                fields = {key: value for key, value in record.items()
+                          if key not in ("type", "seq", "ts")}
+                parent_obs.emit(record["type"], **fields)
+        outcomes.append((partial, inference))
+    return outcomes
+
+
+class ShardedProfileResult:
+    """A merged profile plus everything the shards knew about making it."""
+
+    __slots__ = ("profile", "profile_map", "shard_provenance", "inference")
+
+    def __init__(self, profile, profile_map: ProfileMap,
+                 shard_provenance: List[Dict[str, object]],
+                 inference: Optional[Tuple[int, int]]):
+        #: The compiler-consumable profile (FlatProfile / ContextProfile),
+        #: byte-identical to a single-shard run's.
+        self.profile = profile
+        #: The merged :class:`ProfileMap` carrying exact drop accounting.
+        self.profile_map = profile_map
+        #: One manifest-ready record per shard, in shard order.
+        self.shard_provenance = shard_provenance
+        #: Summed frame-inference (attempted, recovered), or ``None``.
+        self.inference = inference
+
+
+def generate_sharded_profile(binary: Binary, data: PerfData, mode: str,
+                             probe_meta: Optional[ProbeMetadata] = None, *,
+                             use_inferrer: bool = True,
+                             shards: int = 2, jobs: int = 1,
+                             fast: bool = True,
+                             pool: "Optional[ShardedProfgenPool]" = None
+                             ) -> ShardedProfileResult:
+    """Generate a profile from deterministic payload shards and merge.
+
+    ``shards`` fixes the partition (and therefore the per-shard work)
+    independently of ``jobs``, which only sets the worker-pool width:
+    ``jobs <= 1`` runs every shard in-process — same partials, same merge,
+    zero IPC — so shard count alone never changes output bytes, and pool
+    dispatch is an execution detail.  ``mode`` is one of
+    :data:`SHARDED_MODES`; context_noinf is ``mode="context"`` with
+    ``use_inferrer=False``.
+
+    ``pool`` reuses a :class:`ShardedProfgenPool` across calls (worker
+    startup and the binary pickle amortize away); it must have been built
+    for the same binary and mode flags, or the merge guarantees are void.
+    """
+    if pool is not None:
+        pool.check_compatible(binary, mode, use_inferrer=use_inferrer,
+                              fast=fast)
+        jobs = pool.jobs
+    if mode not in SHARDED_MODES:
+        raise ValueError(f"unknown sharded profgen mode {mode!r} "
+                         f"(expected one of {SHARDED_MODES})")
+    if mode != "dwarf" and probe_meta is None:
+        raise ValueError(f"mode {mode!r} requires probe metadata")
+    shards = max(1, shards)
+    jobs = max(1, min(jobs, shards))
+    tel = telemetry.enabled()
+    before = _index_stats_snapshot(binary) if tel else {}
+    graph: Optional[TailCallGraph] = None
+    if mode == "context" and use_inferrer:
+        # Built once from the FULL stream; per-shard graphs would repair
+        # frames differently and break merged byte-identity.
+        graph = TailCallGraph.from_samples(binary, data.samples)
+    buckets = partition_entries(data.aggregated(), shards)
+
+    outcomes: List[Tuple[ProfileMap, Optional[Tuple[int, int]]]] = []
+    if pool is not None and jobs > 1:
+        outcomes = _run_pool(pool.executor, buckets, graph)
+    elif jobs > 1:
+        with ProcessPoolExecutor(
+                max_workers=jobs, initializer=_pool_init,
+                initargs=(binary, probe_meta, mode, use_inferrer,
+                          fast)) as transient:
+            outcomes = _run_pool(transient, buckets, graph)
+    else:
+        for bucket in buckets:
+            outcomes.append(_build_partial(binary, probe_meta, mode,
+                                           use_inferrer, fast, graph,
+                                           bucket))
+
+    kind = KIND_DWARF_RANGES if mode == "dwarf" else (
+        "context" if mode == "context" else FlatProfile.KIND_PROBE)
+    merged = ProfileMap.empty(kind, binary_id=binary.identity())
+    trie = ContextTrie() if mode == "context" else None
+    shard_provenance: List[Dict[str, object]] = []
+    attempted = recovered = 0
+    saw_inference = False
+    for index, (partial, inference) in enumerate(outcomes):
+        merged.merge(partial, trie=trie)
+        record: Dict[str, object] = {"shard": index}
+        record.update(partial.provenance())
+        shard_provenance.append(record)
+        if inference is not None:
+            saw_inference = True
+            attempted += inference[0]
+            recovered += inference[1]
+    if not merged.accounting_consistent():
+        raise RuntimeError(
+            "sharded merge broke drop accounting: "
+            f"used={merged.used_samples} dropped={sum(merged.dropped.values())} "
+            f"total={merged.total_samples}")
+
+    if mode == "dwarf":
+        profile = dwarf_profile_from_counts(binary, merged.payload)
+    else:
+        profile = merged.payload
+    if tel:
+        telemetry.count("correlate", "sharded_profgen_runs")
+        telemetry.count("correlate", "sharded_profgen_shards", shards)
+        telemetry.count("correlate", "sharded_profgen_jobs", jobs)
+        _emit_index_stats(binary, before)
+    inference = (attempted, recovered) if saw_inference else None
+    return ShardedProfileResult(profile, merged, shard_provenance, inference)
+
+
+class ShardedProfgenPool:
+    """A long-lived worker pool bound to one ``(binary, mode)``.
+
+    A profile service regenerates profiles continuously over the same
+    binary; paying worker startup and the binary pickle on every call
+    would swamp the unwind work it parallelizes.  This pool pays them
+    once: workers are initialized with the data-independent state only,
+    and each :func:`generate_sharded_profile` call ships the per-stream
+    tail-call graph with its shard tasks — so reusing the pool across
+    different sample streams is safe and stays byte-identical to serial.
+
+    Use as a context manager, or call :meth:`close` when done::
+
+        with ShardedProfgenPool(binary, "context", meta, jobs=4) as pool:
+            for data in streams:
+                out = generate_sharded_profile(binary, data, "context",
+                                               meta, shards=8, pool=pool)
+    """
+
+    def __init__(self, binary: Binary, mode: str,
+                 probe_meta: Optional[ProbeMetadata] = None, *,
+                 use_inferrer: bool = True, jobs: int = 2,
+                 fast: bool = True):
+        if mode not in SHARDED_MODES:
+            raise ValueError(f"unknown sharded profgen mode {mode!r} "
+                             f"(expected one of {SHARDED_MODES})")
+        if mode != "dwarf" and probe_meta is None:
+            raise ValueError(f"mode {mode!r} requires probe metadata")
+        self.binary_id = binary.identity()
+        self.mode = mode
+        self.use_inferrer = use_inferrer
+        self.fast = fast
+        self.jobs = max(2, jobs)
+        self.executor = ProcessPoolExecutor(
+            max_workers=self.jobs, initializer=_pool_init,
+            initargs=(binary, probe_meta, mode, use_inferrer, fast))
+
+    def check_compatible(self, binary: Binary, mode: str, *,
+                         use_inferrer: bool, fast: bool) -> None:
+        """Reject generation requests the workers were not initialized for."""
+        if binary.identity() != self.binary_id:
+            raise ValueError(
+                f"pool was built for binary {self.binary_id}, "
+                f"got {binary.identity()}")
+        if (mode, use_inferrer, fast) != (self.mode, self.use_inferrer,
+                                          self.fast):
+            raise ValueError(
+                f"pool was built for mode={self.mode!r} "
+                f"use_inferrer={self.use_inferrer} fast={self.fast}, got "
+                f"mode={mode!r} use_inferrer={use_inferrer} fast={fast}")
+
+    def close(self) -> None:
+        self.executor.shutdown()
+
+    def __enter__(self) -> "ShardedProfgenPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

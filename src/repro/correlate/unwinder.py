@@ -237,6 +237,24 @@ class Unwinder:
                 telemetry.count("correlate", name)
         return result
 
+    def unwind_entry(self, entry) -> PayloadResult:
+        """Compact unwind of one aggregated entry (the dedup path).
+
+        Pre-aggregation guarantees each unique payload reaches this loop
+        exactly once, so the per-payload result memo of
+        :meth:`unwind_payload` can never hit here — storing into it was
+        dead weight.  This entry point skips the cache entirely and
+        accounts reuse directly: the one real walk is a miss, and the
+        ``entry.count - 1`` further samples the payload stands for are
+        hits (unwinds served by payload reuse instead of a walk) —
+        the same semantics the per-sample memo reports, so the hit rate
+        equals ``1 - unique_ratio`` on any workload.
+        """
+        self.stats["unwind_misses"] += 1
+        if entry.count > 1:
+            self.stats["unwind_hits"] += entry.count - 1
+        return self._unwind_fast(entry.sample)
+
     def unwind_payload(self, sample: PerfSample) -> PayloadResult:
         """Compact unwind of ``sample``'s payload, memoized per unique
         ``(lbr, stack)``.  Does *not* emit telemetry events — callers

@@ -1,0 +1,231 @@
+"""Differential tests for sharded profile generation (DESIGN.md sec. 13).
+
+Sharding must be *invisible* in the output: for every profile mode, the
+profile merged from any shard count — in-process or through a worker pool —
+must be byte-identical in text form to the serial fast path's, with the
+merged drop accounting still satisfying ``used + dropped == total`` and the
+per-shard provenance summing exactly to the merged tallies.
+"""
+
+import json
+
+import pytest
+
+from repro import PGODriverConfig, PGOVariant, obs, run_pgo
+from repro.cli import main
+from repro.correlate import (ShardedProfgenPool, generate_context_profile,
+                             generate_dwarf_profile, generate_probe_profile,
+                             generate_sharded_profile, partition_entries)
+from repro.hw import PMUConfig
+from repro.obs import ProfileManifest
+from repro.profile import (ContextTrie, ProfileMap, dump_context_profile,
+                           dump_flat_profile)
+from repro.workloads import WorkloadSpec, build_workload
+from tests.test_profgen_fastpath import _profiled_binary
+
+SHARD_COUNTS = [1, 2, 4, 7]
+
+
+@pytest.fixture(scope="module")
+def profiled():
+    return _profiled_binary(seed=3)
+
+
+@pytest.fixture(scope="module")
+def serial_texts(profiled):
+    binary, meta, data = profiled
+    context, _ = generate_context_profile(binary, data, meta)
+    noinf, _ = generate_context_profile(binary, data, meta,
+                                        use_inferrer=False)
+    return {
+        "dwarf": dump_flat_profile(generate_dwarf_profile(binary, data)),
+        "probe": dump_flat_profile(
+            generate_probe_profile(binary, data, meta)),
+        "context": dump_context_profile(context),
+        "context_noinf": dump_context_profile(noinf),
+    }
+
+
+def _sharded_text(binary, meta, data, mode, shards, **kwargs):
+    use_inferrer = mode != "context_noinf"
+    gen_mode = "context" if mode == "context_noinf" else mode
+    outcome = generate_sharded_profile(
+        binary, data, gen_mode, None if gen_mode == "dwarf" else meta,
+        use_inferrer=use_inferrer, shards=shards, **kwargs)
+    if gen_mode == "context":
+        return outcome, dump_context_profile(outcome.profile)
+    return outcome, dump_flat_profile(outcome.profile)
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("mode", ["dwarf", "probe", "context",
+                                      "context_noinf"])
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_identical_to_serial(self, profiled, serial_texts, mode, shards):
+        binary, meta, data = profiled
+        _, text = _sharded_text(binary, meta, data, mode, shards)
+        assert text == serial_texts[mode]
+
+    def test_pool_identical_to_serial(self, profiled, serial_texts):
+        """One pooled run per suite: worker dispatch is an execution
+        detail, so jobs=2 must reproduce the in-process bytes."""
+        binary, meta, data = profiled
+        _, text = _sharded_text(binary, meta, data, "context", 4, jobs=2)
+        assert text == serial_texts["context"]
+
+    def test_reused_pool_identical_across_shard_counts(self, profiled,
+                                                       serial_texts):
+        binary, meta, data = profiled
+        with ShardedProfgenPool(binary, "context", meta, jobs=2) as pool:
+            for shards in (2, 5):
+                _, text = _sharded_text(binary, meta, data, "context",
+                                        shards, pool=pool)
+                assert text == serial_texts["context"]
+
+    def test_pool_rejects_mismatched_request(self, profiled):
+        binary, meta, data = profiled
+        with ShardedProfgenPool(binary, "context", meta, jobs=2) as pool:
+            with pytest.raises(ValueError, match="mode"):
+                generate_sharded_profile(binary, data, "probe", meta,
+                                         shards=2, pool=pool)
+
+
+class TestPartition:
+    def test_buckets_cover_exactly(self, profiled):
+        binary, meta, data = profiled
+        entries = data.aggregated()
+        buckets = partition_entries(entries, 5)
+        assert len(buckets) == 5
+        flat = [entry for bucket in buckets for entry in bucket]
+        assert sorted(id(e) for e in flat) == sorted(id(e) for e in entries)
+
+    def test_partition_is_deterministic(self, profiled):
+        binary, meta, data = profiled
+        entries = data.aggregated()
+        first = [[e.sample for e in bucket]
+                 for bucket in partition_entries(entries, 4)]
+        second = [[e.sample for e in bucket]
+                  for bucket in partition_entries(entries, 4)]
+        assert first == second
+
+    def test_single_shard_is_passthrough(self, profiled):
+        binary, meta, data = profiled
+        entries = data.aggregated()
+        assert partition_entries(entries, 1) == [entries]
+
+
+class TestAccounting:
+    def test_merged_accounting_consistent(self, profiled):
+        binary, meta, data = profiled
+        outcome, _ = _sharded_text(binary, meta, data, "context", 4)
+        pm = outcome.profile_map
+        assert pm.accounting_consistent()
+        assert pm.total_samples == len(data.samples)
+        assert pm.unique_samples == len(data.aggregated())
+
+    def test_shard_provenance_sums_to_merged(self, profiled):
+        binary, meta, data = profiled
+        outcome, _ = _sharded_text(binary, meta, data, "context", 4)
+        pm = outcome.profile_map
+        records = outcome.shard_provenance
+        assert [r["shard"] for r in records] == [0, 1, 2, 3]
+        assert sum(r["samples"] for r in records) == pm.total_samples
+        assert sum(r["used"] for r in records) == pm.used_samples
+        assert sum(r["unique"] for r in records) == pm.unique_samples
+        for record in records:
+            dropped = sum(record["dropped"].values())
+            assert record["used"] + dropped == record["samples"]
+
+    def test_merge_is_order_invariant(self, profiled):
+        """Folding the same partials in any order yields the same bytes
+        and the same accounting (ProfileMap.merge is commutative)."""
+        binary, meta, data = profiled
+        buckets = partition_entries(data.aggregated(), 4)
+        from repro.correlate.sharded import _build_partial
+        partials = [_build_partial(binary, meta, "context", False, True,
+                                   None, bucket)[0]
+                    for bucket in buckets]
+        texts = []
+        for order in (partials, list(reversed(partials)),
+                      partials[2:] + partials[:2]):
+            merged = ProfileMap.empty("context",
+                                      binary_id=binary.identity())
+            trie = ContextTrie()
+            for partial in order:
+                merged.merge(partial, trie=trie)
+            assert merged.accounting_consistent()
+            texts.append(dump_context_profile(merged.payload))
+        assert texts[0] == texts[1] == texts[2]
+
+
+class TestDriver:
+    def test_driver_sharded_equals_serial(self):
+        """run_pgo with profgen_shards > 1 produces the same profile and
+        stamps shard provenance into a consistent manifest (manifests are
+        recorded only while the observability session is installed)."""
+        module = build_workload(WorkloadSpec("shard", seed=5, requests=60))
+        serial_cfg = PGODriverConfig(pmu=PMUConfig(period=31),
+                                     profile_iterations=1)
+        sharded_cfg = PGODriverConfig(pmu=PMUConfig(period=31),
+                                      profile_iterations=1,
+                                      profgen_shards=3)
+        obs.install()
+        try:
+            serial = run_pgo(module, PGOVariant.CSSPGO_FULL, [60], [60],
+                             serial_cfg)
+            sharded = run_pgo(module.clone(), PGOVariant.CSSPGO_FULL,
+                              [60], [60], sharded_cfg)
+        finally:
+            obs.uninstall()
+        assert (dump_context_profile(sharded.profile)
+                == dump_context_profile(serial.profile))
+
+        record = sharded.extras["manifests"][-1]
+        manifest = ProfileManifest.from_dict(record)
+        assert len(manifest.shards) == 3
+        assert manifest.shard_accounting_consistent()
+        serial_manifest = ProfileManifest.from_dict(
+            serial.extras["manifests"][-1])
+        assert serial_manifest.shards == []
+        assert serial_manifest.shard_accounting_consistent()  # vacuous
+
+
+class TestCLI:
+    def test_profile_shards_round_trip(self, tmp_path, capsys):
+        """repro profile --shards writes the same profile text as serial,
+        with shard provenance that repro validate --manifest accepts."""
+        serial_path = tmp_path / "serial.prof"
+        sharded_path = tmp_path / "sharded.prof"
+        assert main(["--period", "31", "--seed", "4",
+                     "profile", "demo", "-o", str(serial_path)]) == 0
+        assert main(["--period", "31", "--seed", "4", "--shards", "3",
+                     "profile", "demo", "-o", str(sharded_path)]) == 0
+        assert sharded_path.read_text() == serial_path.read_text()
+
+        manifest_path = str(sharded_path) + ".manifest.json"
+        manifest = ProfileManifest.read(manifest_path)
+        assert len(manifest.shards) == 3
+        assert manifest.shard_accounting_consistent()
+        assert manifest.drop_accounting_consistent()
+        capsys.readouterr()
+
+        assert main(["--seed", "4", "validate", str(sharded_path), "demo",
+                     "--manifest", manifest_path]) == 0
+        out = capsys.readouterr().out
+        assert "shard accounting" in out
+        assert "verdict             PASS" in out
+
+    def test_validate_flags_corrupt_shard_accounting(self, tmp_path, capsys):
+        profile_path = tmp_path / "ctx.prof"
+        main(["--period", "31", "--seed", "4", "--shards", "2",
+              "profile", "demo", "-o", str(profile_path)])
+        manifest_path = str(profile_path) + ".manifest.json"
+        record = json.loads(open(manifest_path).read())
+        record["shards"][0]["used"] += 7  # a lost/double-merged shard
+        with open(manifest_path, "w") as handle:
+            json.dump(record, handle)
+        capsys.readouterr()
+        assert main(["--seed", "4", "validate", str(profile_path), "demo",
+                     "--manifest", manifest_path]) == 1
+        out = capsys.readouterr().out
+        assert "shard accounting" in out and "MISMATCH" in out
