@@ -60,7 +60,12 @@ def _config(args) -> PGODriverConfig:
         static_fill_cold=args.static_fill_cold,
         verify_each=args.verify_each,
         profgen_shards=args.shards,
-        profgen_jobs=args.jobs)
+        profgen_jobs=args.jobs,
+        infer_shards=getattr(args, "infer_shards", 1),
+        infer_jobs=getattr(args, "infer_jobs", 1),
+        incremental_inference=not getattr(args, "no_incremental_inference",
+                                          False),
+        dense_inference=getattr(args, "dense_inference", False))
 
 
 def _parse_variants(spec: str) -> Optional[List[PGOVariant]]:
@@ -440,6 +445,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "deterministic payload shards and merge the "
                              "partial profiles (byte-identical to unsharded; "
                              "pair with --jobs for a worker pool)")
+    parser.add_argument("--infer-shards", type=int, default=1, metavar="N",
+                        help="partition per-function profile-inference "
+                             "solves into N deterministic shards (solved "
+                             "counts identical to unsharded; pair with "
+                             "--infer-jobs for a worker pool)")
+    parser.add_argument("--infer-jobs", type=int, default=1, metavar="N",
+                        help="worker processes for sharded inference solves "
+                             "(1 = in-process)")
+    parser.add_argument("--dense-inference", action="store_true",
+                        help="force the dense differential-oracle inference "
+                             "solver instead of the cached sparse path")
+    parser.add_argument("--no-incremental-inference", action="store_true",
+                        help="disable cross-iteration inference solution "
+                             "reuse (every function re-solves every time)")
     parser.add_argument("--seed", type=int, default=0,
                         help="generator seed for ad-hoc workloads")
     parser.add_argument("--stats", action="store_true",

@@ -1,0 +1,187 @@
+"""Sharded per-function inference solves (the profgen-pool pattern).
+
+Per-function flow solves are embarrassingly parallel: each function's
+system depends only on its own skeleton and observations, and module
+counts are written back per function.  Following
+``correlate/sharded.py``:
+
+1. the parent partitions pending functions **deterministically** by an
+   FNV-1a hash of the function name — stable across processes, platforms
+   and ``PYTHONHASHSEED``, and cache-friendly: structurally identical
+   functions (generated workloads produce many clones named apart) spread
+   over shards, while re-solves of the *same* function always land on the
+   same shard, whose warm factorization cache they reuse;
+2. ``shards`` fixes the partition independently of ``jobs``, which only
+   sets the worker-pool width: ``jobs <= 1`` runs every shard in-process
+   against the caller's cache — zero IPC, same code path
+   (:func:`~repro.inference.sparse.solve_raw`), identical floats — so
+   shard count never changes solved counts;
+3. workers receive **compact system encodings** (digest, edge list,
+   observation pattern/values), never pickled IR modules, and keep a
+   process-global solver cache that stays warm across tasks and across
+   calls when a long-lived :class:`ShardedInferencePool` is reused;
+4. results merge back in the parent keyed by function name — the caller
+   applies them in module order, so pool scheduling never reorders
+   anything observable.  Workers stay observability-free: fallback
+   reasons travel home in the results and per-shard cache stats are
+   re-counted by the parent, mirroring how profgen workers ship their
+   telemetry sessions back.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import telemetry
+from .skeleton import EdgeList
+from .sparse import SolverCache, solve_raw
+
+if TYPE_CHECKING:
+    from .skeleton import CFGSkeleton
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = (1 << 64) - 1
+
+#: One encoded solve: (name, digest, n_blocks, edges, obs_indices,
+#: obs_values, head_count) — everything :func:`solve_raw` needs, nothing
+#: else crosses the process boundary.
+Task = Tuple[str, str, int, EdgeList, Tuple[int, ...], List[float],
+             Optional[float]]
+#: One solve result: (source_flow, inflow, fallback_reason).
+Solution = Tuple[float, np.ndarray, Optional[str]]
+#: What flow hands us: (name, skeleton, obs_indices, obs_values, head).
+PendingEntry = Tuple[str, "CFGSkeleton", Tuple[int, ...], List[float],
+                     Optional[float]]
+
+
+def name_shard(name: str, shards: int) -> int:
+    """Deterministic shard index of one function name (FNV-1a)."""
+    h = _FNV_OFFSET
+    for byte in name.encode():
+        h = ((h ^ byte) * _FNV_PRIME) & _MASK64
+    return h % shards
+
+
+def partition_tasks(tasks: List[Task], shards: int) -> List[List[Task]]:
+    """Split tasks into ``shards`` deterministic buckets by function name,
+    preserving input order within each bucket."""
+    if shards <= 1:
+        return [list(tasks)]
+    buckets: List[List[Task]] = [[] for _ in range(shards)]
+    for task in tasks:
+        buckets[name_shard(task[0], shards)].append(task)
+    return buckets
+
+
+def _solve_tasks(tasks: List[Task], cache: SolverCache
+                 ) -> List[Tuple[str, Solution]]:
+    return [(name, solve_raw(cache, digest, n_blocks, edges, obs_indices,
+                             obs_values, head))
+            for name, digest, n_blocks, edges, obs_indices, obs_values, head
+            in tasks]
+
+
+#: Per-worker solver cache — created on first task, warm for the lifetime
+#: of the worker process (i.e. across every call through a reused pool).
+_WORKER_CACHE: Optional[SolverCache] = None
+
+
+def _pool_worker(tasks: List[Task]
+                 ) -> Tuple[List[Tuple[str, Solution]], Dict[str, int]]:
+    """Solve one shard in a pool worker (module-level, picklable).
+
+    Ships back the shard's cache-stats delta so the parent can re-count
+    worker cache activity into its own telemetry.
+    """
+    global _WORKER_CACHE
+    if _WORKER_CACHE is None:
+        _WORKER_CACHE = SolverCache()
+    before = _WORKER_CACHE.stats()
+    results = _solve_tasks(tasks, _WORKER_CACHE)
+    after = _WORKER_CACHE.stats()
+    delta = {key: after[key] - before.get(key, 0)
+             for key in ("hits", "misses")}
+    return results, delta
+
+
+def _run_pool(executor: ProcessPoolExecutor, buckets: List[List[Task]]
+              ) -> Dict[str, Solution]:
+    futures = [executor.submit(_pool_worker, bucket)
+               for bucket in buckets if bucket]
+    merged: Dict[str, Solution] = {}
+    for future in futures:  # shard order
+        results, delta = future.result()
+        telemetry.count("inference", "solver_cache_hit", delta["hits"])
+        telemetry.count("inference", "solver_cache_miss", delta["misses"])
+        for name, solution in results:
+            merged[name] = solution
+    return merged
+
+
+def solve_pending_sharded(pending: List[PendingEntry], *, shards: int,
+                          jobs: int, cache: SolverCache,
+                          pool: "Optional[ShardedInferencePool]" = None
+                          ) -> Dict[str, Solution]:
+    """Solve every pending function across deterministic shards.
+
+    Returns function name -> :data:`Solution`.  ``jobs <= 1`` (or a single
+    shard) solves in-process against ``cache``; ``jobs > 1`` dispatches to
+    ``pool`` (or a transient pool) whose workers keep their own warm
+    caches.  Either way the solved floats are identical — the partition is
+    a pure function of the names and every solve is pure.
+    """
+    tasks: List[Task] = [
+        (name, skeleton.digest, skeleton.n_blocks, skeleton.edges,
+         obs_indices, obs_values, head)
+        for name, skeleton, obs_indices, obs_values, head in pending]
+    shards = max(1, shards)
+    if pool is not None:
+        jobs = pool.jobs
+    jobs = max(1, min(jobs, shards))
+    buckets = partition_tasks(tasks, shards)
+    telemetry.count("inference", "sharded_runs")
+    telemetry.count("inference", "sharded_shards", shards)
+    telemetry.count("inference", "sharded_jobs", jobs)
+
+    if jobs > 1 and pool is not None:
+        return _run_pool(pool.executor, buckets)
+    if jobs > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as transient:
+            return _run_pool(transient, buckets)
+    merged: Dict[str, Solution] = {}
+    for bucket in buckets:
+        for name, solution in _solve_tasks(bucket, cache):
+            merged[name] = solution
+    return merged
+
+
+class ShardedInferencePool:
+    """A long-lived inference worker pool.
+
+    Unlike :class:`~repro.correlate.sharded.ShardedProfgenPool`, workers
+    need no per-binary initializer state — every task is self-contained —
+    so one pool serves any module.  What reuse buys is the *worker
+    caches*: factorizations warmed by one rolling generation are still
+    there for the next.  Use as a context manager, or :meth:`close` when
+    done.
+    """
+
+    def __init__(self, jobs: int = 2):
+        self.jobs = max(2, jobs)
+        self.executor = ProcessPoolExecutor(max_workers=self.jobs)
+
+    def close(self) -> None:
+        self.executor.shutdown()
+
+    def __enter__(self) -> "ShardedInferencePool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"<ShardedInferencePool jobs={self.jobs}>"

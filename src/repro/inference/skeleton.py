@@ -1,0 +1,133 @@
+"""CFG skeletons: the structure-only view of a function the solver sees.
+
+The flow-inference system (``inference.flow``) is determined by three
+independent inputs with very different lifetimes:
+
+1. the **CFG skeleton** — which edges exist (changes only when code
+   changes);
+2. the **observation pattern** — which blocks carry sampled counts and
+   whether a head count is present (changes per profile *shape*);
+3. the **observation values** — the sampled counts themselves (change on
+   every collection).
+
+Only (3) varies between rolling profile generations, and only (1)+(2)
+determine the least-squares matrix.  This module extracts (1) as a
+:class:`CFGSkeleton` with a content digest — the cache key that lets
+``inference.sparse`` reuse factorizations across functions with identical
+shapes (generated workloads produce many) and across repeated runs, the
+same way :func:`repro.ir.checksum.cfg_checksum` keys stale-profile
+detection on CFG shape alone.
+
+The edge list preserves the exact ordering of the historical dense
+formulation (``fn.blocks`` order filtered to reachable blocks, a virtual
+``SRC -> entry`` edge first, per-block successor edges, ``block -> SINK``
+edges after a ``Ret`` or missing terminator) so sparse and dense paths
+solve literally the same system.  The digest hashes block/edge *indices*,
+never labels, so renamed-but-identical CFGs share a cache entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.function import Function
+from ..ir.instructions import Ret
+
+#: Virtual endpoint indices in the edge list (match the dense formulation).
+SRC = -1
+SINK = -2
+
+#: ``(src_index | SRC, dst_index | SINK)`` — one flow variable per entry.
+EdgeList = Tuple[Tuple[int, int], ...]
+
+
+def skeleton_digest(n_blocks: int, edges: EdgeList) -> str:
+    """Content digest of one CFG skeleton (hex, stable across processes).
+
+    Hashes indices only: two functions whose reachable blocks map onto the
+    same indexed edge structure get the same digest regardless of labels,
+    register names, or instruction payloads.
+    """
+    hasher = hashlib.md5(b"v1;%d;" % n_blocks)
+    hasher.update(b"".join([b"%d,%d;" % edge for edge in edges]))
+    return hasher.hexdigest()
+
+
+class CFGSkeleton:
+    """The structural half of one function's inference system."""
+
+    __slots__ = ("labels", "index", "edges", "digest")
+
+    def __init__(self, labels: List[str], edges: EdgeList,
+                 digest: Optional[str] = None):
+        #: Reachable block labels in solve order (``fn.blocks`` order).
+        self.labels = labels
+        #: Label -> block index in :attr:`labels`.
+        self.index: Dict[str, int] = {lab: i for i, lab in enumerate(labels)}
+        #: Flow variables; ``edges[0]`` is always the virtual SRC->entry edge.
+        self.edges = edges
+        self.digest = digest if digest is not None else skeleton_digest(
+            len(labels), edges)
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.labels)
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.edges)
+
+    def __repr__(self) -> str:
+        return (f"<CFGSkeleton {self.n_blocks} blocks {self.n_edges} edges "
+                f"{self.digest[:12]}>")
+
+
+def extract_skeleton(fn: Function) -> CFGSkeleton:
+    """Build the skeleton for ``fn``, in the dense formulation's exact order.
+
+    Runs on every inference call (even cache/memo hits), so it traverses the
+    CFG exactly once: ``successors()`` re-parses the terminator per call and
+    ``cfg.reachable_blocks`` would walk the graph a second time, which
+    together dominated the warm-cache profile.
+    """
+    blocks = fn.blocks
+    succ_map = {b.label: b.successors() for b in blocks}
+    entry = blocks[0].label
+    live = {entry}
+    stack = [entry]
+    while stack:
+        for succ in succ_map[stack.pop()]:
+            if succ not in live and succ in succ_map:
+                live.add(succ)
+                stack.append(succ)
+    reachable = blocks if len(live) == len(blocks) else [
+        b for b in blocks if b.label in live]
+    labels = [b.label for b in reachable]
+    index = {label: i for i, label in enumerate(labels)}
+    edges: List[Tuple[int, int]] = [(SRC, index[entry])]
+    for block in reachable:
+        i = index[block.label]
+        succs = [s for s in succ_map[block.label] if s in index]
+        for succ in succs:
+            edges.append((i, index[succ]))
+        if isinstance(block.instrs[-1], Ret) or not succs:
+            edges.append((i, SINK))
+    return CFGSkeleton(labels, tuple(edges))
+
+
+def observation_pattern(fn: Function, skeleton: CFGSkeleton
+                        ) -> Tuple[Tuple[int, ...], List[float]]:
+    """Split observations into pattern (indices) and values (counts).
+
+    The index tuple feeds the template cache key; the value list only ever
+    touches the right-hand side.
+    """
+    indices: List[int] = []
+    values: List[float] = []
+    for i, label in enumerate(skeleton.labels):
+        count = fn.block(label).count
+        if count is not None:
+            indices.append(i)
+            values.append(float(count))
+    return tuple(indices), values

@@ -55,6 +55,12 @@ EVENT_TYPES: Dict[str, tuple] = {
     "span": ("name", "category", "duration_us"),
     # One SLO rule verdict (written back by ``repro report``).
     "slo_evaluated": ("rule", "verdict"),
+    # One module-level profile-inference pass: solver path, memo reuse,
+    # sharding configuration (see inference.flow).
+    "inference_run": ("functions", "inferred", "solver"),
+    # One classified departure from the primary inference solver
+    # (rank_deficient / negative_flow / scipy_missing / ...).
+    "solver_fallback": ("function", "reason"),
     # One profile-linter finding (``repro lint`` / ``repro validate --lint``).
     "lint_finding": ("rule", "function", "detail"),
     # End-of-lint rollup: total findings and functions checked.

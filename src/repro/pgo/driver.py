@@ -30,6 +30,7 @@ from ..hw.executor import MachineExecutor, execute, make_pmu
 from ..obs import ProfileManifest, profile_block_counts, trim_overlap_score
 from ..hw.perf_data import PerfData
 from ..hw.pmu import PMU, PMUConfig
+from ..inference import incremental as inference_session
 from ..ir.function import Module
 from ..opt.pass_manager import OptConfig
 from ..perfmodel.cost_model import CostModel
@@ -103,7 +104,11 @@ class PGODriverConfig:
                  static_fill_cold: bool = False,
                  verify_each: bool = False,
                  profgen_shards: int = 1,
-                 profgen_jobs: int = 1):
+                 profgen_jobs: int = 1,
+                 infer_shards: int = 1,
+                 infer_jobs: int = 1,
+                 incremental_inference: bool = True,
+                 dense_inference: bool = False):
         self.pmu = pmu or PMUConfig()
         self.opt = opt
         self.lower = lower
@@ -147,6 +152,19 @@ class PGODriverConfig:
         #: (``1`` = in-process, zero IPC — same bytes either way).
         self.profgen_shards = profgen_shards
         self.profgen_jobs = profgen_jobs
+        #: Sharded profile inference (DESIGN.md sec. 14): partition
+        #: per-function flow solves deterministically across
+        #: ``infer_shards`` and run them on ``infer_jobs`` pool workers
+        #: (``1`` = in-process — identical counts either way).
+        self.infer_shards = infer_shards
+        self.infer_jobs = infer_jobs
+        #: Memoize solved systems across the cycle's rolling iterations
+        #: (and across variants run in this process): a repeat solve with
+        #: unchanged observations is skipped entirely.  Exact-match reuse,
+        #: so it never changes counts.
+        self.incremental_inference = incremental_inference
+        #: Force the dense differential-oracle solver path everywhere.
+        self.dense_inference = dense_inference
 
 
 def run_pgo(source: Module, variant: PGOVariant,
@@ -168,18 +186,36 @@ def run_pgo(source: Module, variant: PGOVariant,
     config = config or PGODriverConfig()
     result = PGORunResult(variant)
 
-    obs.emit("run_started", variant=variant.value,
-             iterations=config.profile_iterations,
-             independent=config.independent_profiling,
-             strict=config.strict_profile)
-    with telemetry.span(f"variant:{variant.value}", "pgo",
-                        variant=variant.value):
-        result = _run_pgo_cycle(source, variant, train_args, eval_args,
-                                config, result, jobs)
-    obs.emit("run_finished", variant=variant.value,
-             cycles=result.eval.cycles if result.eval else None,
-             degraded_to=result.extras.get("degraded_variant"))
-    obs.snapshot(f"variant:{variant.value}")
+    # Inference configuration rides the installed session (the telemetry
+    # pattern): rolling iterations within this cycle — and later cycles in
+    # the same process — reuse the solver cache and, with
+    # ``incremental_inference``, skip re-solving functions whose sampled
+    # counts did not change.  An already-installed session (an enclosing
+    # orchestrator's) is left alone.
+    installed_session = None
+    if inference_session.current() is None:
+        installed_session = inference_session.install(
+            inference_session.InferenceSession(
+                shards=config.infer_shards, jobs=config.infer_jobs,
+                memoize=config.incremental_inference,
+                dense=config.dense_inference))
+
+    try:
+        obs.emit("run_started", variant=variant.value,
+                 iterations=config.profile_iterations,
+                 independent=config.independent_profiling,
+                 strict=config.strict_profile)
+        with telemetry.span(f"variant:{variant.value}", "pgo",
+                            variant=variant.value):
+            result = _run_pgo_cycle(source, variant, train_args, eval_args,
+                                    config, result, jobs)
+        obs.emit("run_finished", variant=variant.value,
+                 cycles=result.eval.cycles if result.eval else None,
+                 degraded_to=result.extras.get("degraded_variant"))
+        obs.snapshot(f"variant:{variant.value}")
+    finally:
+        if installed_session is not None:
+            inference_session.uninstall()
     return result
 
 

@@ -2,7 +2,7 @@
 
 from .clang import (CLANG_SPEC, EVAL_REQUESTS, TRAIN_REQUESTS,
                     build_clang_workload)
-from .generator import WorkloadSpec, build_workload
+from .generator import WorkloadSpec, build_workload, large_module_spec
 from .server import (SERVER_WORKLOADS, SERVER_WORKLOAD_NAMES,
                      build_server_workload)
 from .vectorops import OP_ADD, OP_SUB, build_vectorops
@@ -11,5 +11,5 @@ __all__ = [
     "CLANG_SPEC", "EVAL_REQUESTS", "OP_ADD", "OP_SUB", "SERVER_WORKLOADS",
     "SERVER_WORKLOAD_NAMES", "TRAIN_REQUESTS", "WorkloadSpec",
     "build_clang_workload", "build_server_workload", "build_vectorops",
-    "build_workload",
+    "build_workload", "large_module_spec",
 ]

@@ -52,6 +52,7 @@ class WorkloadSpec:
         worker_call_prob: float = 0.5,
         n_global_arrays: int = 4,
         global_array_size: int = 64,
+        loop_depth: int = 1,
     ):
         self.name = name
         self.seed = seed
@@ -73,6 +74,11 @@ class WorkloadSpec:
         self.worker_call_prob = worker_call_prob
         self.n_global_arrays = n_global_arrays
         self.global_array_size = global_array_size
+        #: With ``loop_depth > 1``, loop regions become while-loop *nests*
+        #: this deep (tiny trip counts, so execution stays bounded) — the
+        #: deep-CFG shape that stresses profile inference at scale.  The
+        #: default leaves every existing workload's rng stream untouched.
+        self.loop_depth = loop_depth
 
 
 _BIN_CHOICES = ["add", "sub", "mul", "xor", "and", "or"]
@@ -211,6 +217,37 @@ def _emit_dowhile_selfloop(em: _Emitter, spec: WorkloadSpec) -> None:
     em.current = exit_block
 
 
+def _emit_nested_loops(em: _Emitter, spec: WorkloadSpec,
+                       callables: Sequence[str], depth: int) -> None:
+    """A while-loop nest ``depth`` levels deep with small trip counts.
+
+    Each level masks its trip to [0, 3], so a depth-4 nest executes at
+    most a few hundred innermost iterations — deep CFG structure (what
+    inference-at-scale benchmarks need) without unbounded runtime.
+    """
+    rng = em.rng
+    trip = em.fn.fresh_reg("ntrip")
+    ivar = em.fn.fresh_reg("ni")
+    cond = em.fn.fresh_reg("nc")
+    em.emit(BinOp("and", trip, em.any_var(), 3))
+    em.emit(Assign(ivar, 0))
+    header = em.new_block("nest")
+    body = em.new_block("nbody")
+    exit_block = em.new_block("nend")
+    em.emit(Br(header.label))
+    em.current = header
+    em.emit(Cmp("slt", cond, ivar, trip))
+    em.emit(CondBr(cond, body.label, exit_block.label))
+    em.current = body
+    if depth > 1:
+        _emit_nested_loops(em, spec, callables, depth - 1)
+    else:
+        _emit_straightline(em, rng.randint(1, 3))
+    em.emit(BinOp("add", ivar, ivar, 1))
+    em.emit(Br(header.label))
+    em.current = exit_block
+
+
 def _emit_region(em: _Emitter, spec: WorkloadSpec,
                  callables: Sequence[str]) -> None:
     roll = em.rng.random()
@@ -219,7 +256,13 @@ def _emit_region(em: _Emitter, spec: WorkloadSpec,
     elif roll < 0.60:
         _emit_diamond(em, spec, callables)
     elif roll < 0.80:
-        _emit_while_loop(em, spec, callables)
+        # loop_depth > 1 swaps the flat while loop for a nest; at the
+        # default depth the roll and emitter sequence are unchanged, so
+        # existing seeded workloads reproduce byte-for-byte.
+        if spec.loop_depth > 1:
+            _emit_nested_loops(em, spec, callables, spec.loop_depth)
+        else:
+            _emit_while_loop(em, spec, callables)
     else:
         _emit_dowhile_selfloop(em, spec)
 
@@ -425,6 +468,33 @@ def _gen_main(module: Module, rng: random.Random, spec: WorkloadSpec,
     em.emit(Br(header.label))
     em.current = done
     em.emit(Ret("%acc"))
+
+
+def large_module_spec(name: str = "large", seed: int = 0,
+                      functions: int = 1000, loop_depth: int = 4,
+                      regions_per_function: Tuple[int, int] = (6, 10)
+                      ) -> WorkloadSpec:
+    """A production-scale module shape: ``functions`` functions (within a
+    few — the generator derives main/dispatchers from the role counts),
+    each dominated by ``loop_depth``-deep loop nests.
+
+    This is the inference-at-scale benchmark workload (ROADMAP item 4):
+    thousands of functions, deep CFGs, tiny request count — the module is
+    meant to be *annotated and solved*, not executed at length.
+    """
+    functions = max(20, functions)
+    n_dispatch = max(2, functions // 20)
+    n_workers = max(2, functions // 12)
+    n_mid = max(2, functions // 6)
+    n_wrapper = max(1, functions // 25)
+    n_services = max(2, functions // 25)
+    n_leaf = max(2, functions - 1 - n_dispatch - n_workers - n_mid
+                 - n_wrapper - n_services)
+    return WorkloadSpec(
+        name, seed=seed, n_leaf=n_leaf, n_dispatch=n_dispatch,
+        n_workers=n_workers, n_mid=n_mid, n_wrapper=n_wrapper,
+        n_services=n_services, regions_per_function=regions_per_function,
+        loop_depth=loop_depth, requests=20)
 
 
 def build_workload(spec: WorkloadSpec) -> Module:
