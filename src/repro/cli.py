@@ -403,6 +403,63 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_fleet_run(args) -> int:
+    """Run the fault-tolerant continuous-profiling fleet simulation.
+
+    Deterministic: the orchestrator drives the event log off the logical
+    tick clock, so the same seed, fault spec, and shape reproduce the run
+    byte for byte.  ``--check`` turns the end-of-run invariants (orphan
+    loss 0, retry budget respected, assignments consistent) into a CI
+    gate.
+    """
+    from .fleet import FleetConfig, run_fleet
+    config = FleetConfig(
+        ticks=args.ticks, services=args.services, workers=args.workers,
+        seed=args.seed, collect_every=args.collect_every,
+        deadline=args.deadline, status_every=args.status_every,
+        release_every=args.release_every,
+        freshness_window=args.freshness_window, period=args.period,
+        shards=args.shards, jobs=args.jobs, fault_spec=args.fault_spec)
+    report = run_fleet(config)
+    print(report.render())
+    if args.check and report.check():
+        print("fleet check FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_fleet_status(args) -> int:
+    """Summarize a fleet run from its event log (``--events-out``)."""
+    try:
+        events, malformed = obs.read_event_log(args.events_file)
+    except OSError as exc:
+        print(f"error: cannot read event log: {exc}", file=sys.stderr)
+        return 2
+    rollups = [e for e in events if e.type == "fleet_status"]
+    if not rollups:
+        print("no fleet_status events in log", file=sys.stderr)
+        return 1
+    last = rollups[-1]
+    totals = last.fields.get("totals", {})
+    freshness = last.fields.get("freshness")
+    print(f"fleet status @ tick {last.fields.get('tick')} "
+          f"({len(rollups)} rollups, {malformed} malformed lines)")
+    print(f"  freshness: "
+          f"{'n/a' if freshness is None else f'{freshness:.2f}'}")
+    for key in sorted(totals):
+        if totals[key]:
+            print(f"  {key:20s} {totals[key]}")
+    assignments = {}
+    for event in events:
+        if event.type == "fleet_assignment":
+            assignments[event.fields.get("service")] = event.fields
+    for name in sorted(assignments):
+        fields = assignments[name]
+        print(f"  {name:10s} variant={fields.get('variant')} "
+              f"({fields.get('reason')})")
+    return 0
+
+
 def cmd_stats(args) -> int:
     """Run one full PGO cycle purely for its telemetry."""
     try:
@@ -548,6 +605,39 @@ def main(argv: Optional[List[str]] = None) -> int:
                    help="exit 1 when any SLO rule fails (CI gate)")
     p.set_defaults(func=cmd_report)
     p = sub.add_parser(
+        "fleet", help="fault-tolerant continuous-profiling fleet service")
+    fleet_sub = p.add_subparsers(dest="fleet_command", required=True)
+    p = fleet_sub.add_parser(
+        "run", help="run the supervised fleet simulation")
+    p.add_argument("--ticks", type=int, default=200,
+                   help="simulation length in scheduler ticks (default 200)")
+    p.add_argument("--services", type=int, default=3,
+                   help="number of simulated services (default 3)")
+    p.add_argument("--workers", type=int, default=3,
+                   help="supervised collection workers (default 3)")
+    p.add_argument("--collect-every", type=int, default=20, metavar="T",
+                   help="per-service collection cadence in ticks "
+                        "(default 20)")
+    p.add_argument("--deadline", type=int, default=8, metavar="T",
+                   help="per-task deadline in ticks before the supervisor "
+                        "cancels the attempt (default 8)")
+    p.add_argument("--status-every", type=int, default=20, metavar="T",
+                   help="status rollup cadence in ticks (default 20)")
+    p.add_argument("--release-every", type=int, default=70, metavar="T",
+                   help="rolling-release cadence of the heaviest service "
+                        "(0 freezes the fleet; default 70)")
+    p.add_argument("--freshness-window", type=int, default=60, metavar="T",
+                   help="ticks a generation stays fresh enough for csspgo "
+                        "before degrading to autofdo (default 60)")
+    p.add_argument("--check", action="store_true",
+                   help="exit 1 when any end-of-run invariant is violated "
+                        "(CI gate)")
+    p.set_defaults(func=cmd_fleet_run, deterministic_log=True)
+    p = fleet_sub.add_parser(
+        "status", help="summarize a fleet run from its event log")
+    p.add_argument("events_file", help="JSONL event log (--events-out)")
+    p.set_defaults(func=cmd_fleet_status)
+    p = sub.add_parser(
         "stats", help="run one PGO cycle and print its telemetry report")
     p.add_argument("workload")
     p.add_argument("--variant", default=PGOVariant.CSSPGO_FULL.value,
@@ -576,10 +666,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                             command=args.command):
             rc = _run_command(args)
         if obs_session is not None:
-            # Final metrics point + the completed span tree, then the log is
-            # a self-contained record of the run.
-            obs_session.snapshot("final")
-            obs_session.export_spans()
+            if getattr(args, "deterministic_log", False):
+                # Fleet runs promise a byte-reproducible log: keep the
+                # final metrics point but drop wall-clock timing counters
+                # and the span tree (both vary run to run).
+                obs_session.snapshot("final", drop_timings=True)
+            else:
+                # Final metrics point + the completed span tree, then the
+                # log is a self-contained record of the run.
+                obs_session.snapshot("final")
+                obs_session.export_spans()
     finally:
         telemetry.disable()
         if obs_session is not None:

@@ -154,26 +154,39 @@ def _pool_worker(entries: List[AggregatedSample],
     return partial, inference, session, events
 
 
-def _run_pool(pool: ProcessPoolExecutor, buckets: List[List[AggregatedSample]],
+def _run_pool(pool, buckets: List[List[AggregatedSample]],
               graph: Optional[TailCallGraph]
               ) -> List[Tuple[ProfileMap, Optional[Tuple[int, int]]]]:
-    """Dispatch shard buckets to ``pool`` and rejoin worker observability."""
+    """Dispatch shard buckets to ``pool`` and rejoin worker observability.
+
+    ``pool`` is anything with ``submit`` (a :class:`ShardedProfgenPool`,
+    which tracks its futures for cancellation, or a bare executor).  On
+    *any* interruption while waiting — ``KeyboardInterrupt`` included —
+    the not-yet-started shards are cancelled before the exception
+    propagates, so a ^C tears the run down promptly instead of draining
+    the whole queue first.
+    """
     parent_session = telemetry.current()
     parent_obs = obs.active()
     futures = [pool.submit(_pool_worker, bucket, graph,
                            parent_session is not None, parent_obs is not None)
                for bucket in buckets]
     outcomes: List[Tuple[ProfileMap, Optional[Tuple[int, int]]]] = []
-    for future in futures:  # shard order
-        partial, inference, session, events = future.result()
-        if parent_session is not None and session is not None:
-            parent_session.merge(session)
-        if parent_obs is not None and events:
-            for record in events:
-                fields = {key: value for key, value in record.items()
-                          if key not in ("type", "seq", "ts")}
-                parent_obs.emit(record["type"], **fields)
-        outcomes.append((partial, inference))
+    try:
+        for future in futures:  # shard order
+            partial, inference, session, events = future.result()
+            if parent_session is not None and session is not None:
+                parent_session.merge(session)
+            if parent_obs is not None and events:
+                for record in events:
+                    fields = {key: value for key, value in record.items()
+                              if key not in ("type", "seq", "ts")}
+                    parent_obs.emit(record["type"], **fields)
+            outcomes.append((partial, inference))
+    except BaseException:
+        for future in futures:
+            future.cancel()
+        raise
     return outcomes
 
 
@@ -239,7 +252,7 @@ def generate_sharded_profile(binary: Binary, data: PerfData, mode: str,
 
     outcomes: List[Tuple[ProfileMap, Optional[Tuple[int, int]]]] = []
     if pool is not None and jobs > 1:
-        outcomes = _run_pool(pool.executor, buckets, graph)
+        outcomes = _run_pool(pool, buckets, graph)
     elif jobs > 1:
         with ProcessPoolExecutor(
                 max_workers=jobs, initializer=_pool_init,
@@ -320,9 +333,10 @@ class ShardedProfgenPool:
         self.use_inferrer = use_inferrer
         self.fast = fast
         self.jobs = max(2, jobs)
-        self.executor = ProcessPoolExecutor(
+        self.executor: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
             max_workers=self.jobs, initializer=_pool_init,
             initargs=(binary, probe_meta, mode, use_inferrer, fast))
+        self._outstanding: "set" = set()
 
     def check_compatible(self, binary: Binary, mode: str, *,
                          use_inferrer: bool, fast: bool) -> None:
@@ -338,11 +352,41 @@ class ShardedProfgenPool:
                 f"use_inferrer={self.use_inferrer} fast={self.fast}, got "
                 f"mode={mode!r} use_inferrer={use_inferrer} fast={fast}")
 
-    def close(self) -> None:
-        self.executor.shutdown()
+    def submit(self, fn, *args):
+        """Submit one task, tracking the future for cancellation."""
+        if self.executor is None:
+            raise RuntimeError("pool is closed")
+        future = self.executor.submit(fn, *args)
+        self._outstanding.add(future)
+        future.add_done_callback(self._outstanding.discard)
+        return future
+
+    def close(self, cancel: bool = False) -> None:
+        """Shut the pool down; idempotent.
+
+        With ``cancel`` (the interrupted-shutdown path), outstanding
+        futures are cancelled first and the executor is told to drop its
+        pending queue — in-flight work finishes, queued work never starts,
+        and no cancellation traceback escapes.
+        """
+        executor = self.executor
+        if executor is None:
+            return
+        self.executor = None
+        if cancel:
+            for future in list(self._outstanding):
+                future.cancel()
+        executor.shutdown(wait=True, cancel_futures=cancel)
+        self._outstanding.clear()
+
+    def terminate(self) -> None:
+        """Cancel everything outstanding and close (SIGINT/SIGTERM path)."""
+        self.close(cancel=True)
 
     def __enter__(self) -> "ShardedProfgenPool":
         return self
 
-    def __exit__(self, *exc) -> None:
-        self.close()
+    def __exit__(self, exc_type, *exc) -> None:
+        # An exception unwinding through the pool (KeyboardInterrupt, a
+        # failed merge) must not hang on a full work queue: cancel it.
+        self.close(cancel=exc_type is not None)

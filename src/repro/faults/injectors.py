@@ -1,6 +1,7 @@
 """Deterministic fault injectors for every profile-pipeline boundary.
 
-Three injector kinds, one per boundary the pipeline crosses:
+Four injector kinds — three per boundary the *data* pipeline crosses, one
+for the *operational* plane of the fleet service:
 
 * ``perf`` — corrupt raw :class:`~repro.hw.perf_data.PerfData` before
   profile generation (truncated LBR rings, dropped/duplicated samples,
@@ -10,7 +11,15 @@ Three injector kinds, one per boundary the pipeline crosses:
   counter overflow, GUID collisions / moved functions, mutated inline
   trees — the "profile from a different build" family);
 * ``text`` — corrupt the serialized text encoding before loading
-  (malformed lines: bit-rot, truncation splices).
+  (malformed lines: bit-rot, truncation splices);
+* ``fleet`` — operational failures of the continuous-profiling fleet
+  service (DESIGN.md sec. 15): crashed and hung collection workers, slow
+  collections that blow task deadlines, dropped shard results, and
+  clock-skewed generation timestamps.  Fleet injectors have no data-plane
+  hook — they are *decision points* the fleet orchestrator draws through
+  :class:`~repro.fleet.faults.FaultPlane`, from the same per-injector
+  seeded streams, so every retry/degradation path has a replayable
+  trigger.
 
 Every injector draws from a :class:`random.Random` seeded per
 ``(spec seed, injector name)``, so a spec replays identically, and records
@@ -327,6 +336,69 @@ class MutateInlineTree(Injector):
 
 
 # ---------------------------------------------------------------------------
+# fleet (operational) injectors
+# ---------------------------------------------------------------------------
+
+
+class FleetInjector(Injector):
+    """Operational injector: a named, seeded decision point of the fleet
+    orchestrator rather than a data corruption.
+
+    Intensity is the per-decision firing probability (per busy worker per
+    tick for crash/hang, per task start for slow collections, per
+    generation for shard drops and clock skew).  The orchestrator draws
+    from the spec's per-injector stream (:meth:`FaultSpec.rng_for`) in
+    deterministic simulation order — same spec, same fleet seed, same
+    failures, tick for tick.
+    """
+
+    kind = "fleet"
+    #: One-line description of when the orchestrator consults the injector.
+    decision = ""
+
+
+class WorkerCrash(FleetInjector):
+    """Collection worker dies mid-task: its task is orphaned and must be
+    re-queued exactly once by crash recovery; the supervisor respawns a
+    replacement worker."""
+
+    name = "worker_crash"
+    decision = "per busy worker per tick"
+
+
+class WorkerHang(FleetInjector):
+    """Collection worker wedges: heartbeats stop while the task neither
+    progresses nor fails, until hang detection cancels it cooperatively."""
+
+    name = "worker_hang"
+    decision = "per busy worker per tick"
+
+
+class SlowCollection(FleetInjector):
+    """Collection runs several times slower than planned (loaded host,
+    throttled PMU) — the way per-task deadlines actually get exceeded."""
+
+    name = "slow_collection"
+    decision = "per task start"
+
+
+class DropShardResult(FleetInjector):
+    """One shard's partial profile is lost in flight; the merge cannot
+    complete, so the whole collection attempt fails and retries."""
+
+    name = "drop_shard"
+    decision = "per profile generation"
+
+
+class ClockSkew(FleetInjector):
+    """Generation timestamp skewed against the fleet clock (NTP drift on
+    the collection host): freshness-window decisions see the wrong age."""
+
+    name = "clock_skew"
+    decision = "per profile generation"
+
+
+# ---------------------------------------------------------------------------
 # text injectors
 # ---------------------------------------------------------------------------
 
@@ -357,6 +429,8 @@ INJECTORS = {injector.name: injector for injector in [
     StaleChecksum(), MissingProbes(), ExtraProbes(), CounterOverflow(),
     GuidCollision(), MutateInlineTree(),
     MalformedText(),
+    WorkerCrash(), WorkerHang(), SlowCollection(), DropShardResult(),
+    ClockSkew(),
 ]}
 
 

@@ -94,20 +94,31 @@ class PerfData:
         self.samples.append(sample)
         self._aggregated = None
 
-    def extend(self, other: "PerfData") -> None:
+    def extend(self, other: "PerfData", site: str = "unspecified") -> None:
         """Append another session's samples (multi-iteration merge).
 
         Merging is only meaningful between sessions collected on the *same*
         binary: addresses are build-specific, so mixing runs of different
         builds silently produces garbage profiles.  When both sessions carry
         a binary identity and they differ, the merge is refused with
-        :class:`~repro.profile.errors.BinaryMismatchError`.
+        :class:`~repro.profile.errors.BinaryMismatchError` naming both
+        identities and ``site`` (the caller's merge point), the
+        ``pgo.merge.rejected`` counter is bumped, and a ``merge_rejected``
+        event is emitted — rejections show up in dashboards and SLO logs,
+        not just in whoever happens to catch the exception.
         """
         if (self.binary_id is not None and other.binary_id is not None
                 and self.binary_id != other.binary_id):
+            # Imported lazily: hw is a leaf layer and must not pull the
+            # obs/telemetry stack in at module-import time.
+            from .. import obs, telemetry
+            telemetry.count("pgo.merge", "rejected")
+            obs.emit("merge_rejected", site=site, ours=self.binary_id,
+                     theirs=other.binary_id)
             raise BinaryMismatchError(
                 f"cannot merge perf data from binary {other.binary_id} "
-                f"into session from binary {self.binary_id}")
+                f"into session from binary {self.binary_id} "
+                f"(merge site: {site})")
         if self.binary_id is None:
             self.binary_id = other.binary_id
         self.samples.extend(other.samples)

@@ -108,17 +108,25 @@ def _pool_worker(tasks: List[Task]
     return results, delta
 
 
-def _run_pool(executor: ProcessPoolExecutor, buckets: List[List[Task]]
-              ) -> Dict[str, Solution]:
-    futures = [executor.submit(_pool_worker, bucket)
+def _run_pool(pool, buckets: List[List[Task]]) -> Dict[str, Solution]:
+    """Run buckets through anything with ``submit`` (pool or executor)."""
+    futures = [pool.submit(_pool_worker, bucket)
                for bucket in buckets if bucket]
     merged: Dict[str, Solution] = {}
-    for future in futures:  # shard order
-        results, delta = future.result()
-        telemetry.count("inference", "solver_cache_hit", delta["hits"])
-        telemetry.count("inference", "solver_cache_miss", delta["misses"])
-        for name, solution in results:
-            merged[name] = solution
+    try:
+        for future in futures:  # shard order
+            results, delta = future.result()
+            telemetry.count("inference", "solver_cache_hit", delta["hits"])
+            telemetry.count("inference", "solver_cache_miss",
+                            delta["misses"])
+            for name, solution in results:
+                merged[name] = solution
+    except BaseException:
+        # Interrupted mid-merge (KeyboardInterrupt, a failed solve): cancel
+        # what has not started so shutdown does not wait on dead work.
+        for future in futures:
+            future.cancel()
+        raise
     return merged
 
 
@@ -148,7 +156,7 @@ def solve_pending_sharded(pending: List[PendingEntry], *, shards: int,
     telemetry.count("inference", "sharded_jobs", jobs)
 
     if jobs > 1 and pool is not None:
-        return _run_pool(pool.executor, buckets)
+        return _run_pool(pool, buckets)
     if jobs > 1:
         with ProcessPoolExecutor(max_workers=jobs) as transient:
             return _run_pool(transient, buckets)
@@ -172,16 +180,42 @@ class ShardedInferencePool:
 
     def __init__(self, jobs: int = 2):
         self.jobs = max(2, jobs)
-        self.executor = ProcessPoolExecutor(max_workers=self.jobs)
+        self.executor: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
+            max_workers=self.jobs)
+        self._outstanding: set = set()
 
-    def close(self) -> None:
-        self.executor.shutdown()
+    def submit(self, fn, *args):
+        """Submit one task, tracking the future for cancellation."""
+        if self.executor is None:
+            raise RuntimeError("pool is closed")
+        future = self.executor.submit(fn, *args)
+        self._outstanding.add(future)
+        future.add_done_callback(self._outstanding.discard)
+        return future
+
+    def close(self, cancel: bool = False) -> None:
+        """Shut the pool down; idempotent.  With ``cancel``, outstanding
+        futures are cancelled and pending queue entries dropped first, so
+        an interrupted run exits without cancellation tracebacks."""
+        executor = self.executor
+        if executor is None:
+            return
+        self.executor = None
+        if cancel:
+            for future in list(self._outstanding):
+                future.cancel()
+        executor.shutdown(wait=True, cancel_futures=cancel)
+        self._outstanding.clear()
+
+    def terminate(self) -> None:
+        """Cancel everything outstanding and close (SIGINT/SIGTERM path)."""
+        self.close(cancel=True)
 
     def __enter__(self) -> "ShardedInferencePool":
         return self
 
-    def __exit__(self, *exc: object) -> None:
-        self.close()
+    def __exit__(self, exc_type, *exc: object) -> None:
+        self.close(cancel=exc_type is not None)
 
     def __repr__(self) -> str:
         return f"<ShardedInferencePool jobs={self.jobs}>"

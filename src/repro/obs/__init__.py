@@ -44,17 +44,25 @@ class Observability:
     def emit(self, etype: str, **fields: Any) -> Event:
         return self.log.emit(etype, **fields)
 
-    def snapshot(self, label: str = "") -> SeriesPoint:
+    def snapshot(self, label: str = "", *,
+                 drop_timings: bool = False) -> SeriesPoint:
         """Sync telemetry into the registry, record a time-series point,
         and persist it as a ``metrics_snapshot`` event.
 
         The sync re-enumerates every telemetry counter each call, so
         counters created lazily after a previous snapshot (cache counters,
-        late drop reasons) are always picked up.
+        late drop reasons) are always picked up.  ``drop_timings`` omits
+        wall-clock duration counters (``*_ns``/``*_us``) from the
+        *persisted* event — they vary run to run, and a deterministic
+        producer (the fleet simulation) needs its log byte-reproducible.
         """
         self.metrics.sync_telemetry(telemetry.current())
         point = self.metrics.snapshot(self.log.now(), label)
-        self.log.emit("metrics_snapshot", label=label, totals=point.values)
+        totals = point.values
+        if drop_timings:
+            totals = {name: value for name, value in totals.items()
+                      if not name.endswith(("_ns", "_us"))}
+        self.log.emit("metrics_snapshot", label=label, totals=totals)
         return point
 
     def export_spans(self) -> int:
@@ -108,11 +116,11 @@ def emit(etype: str, **fields: Any) -> None:
         session.emit(etype, **fields)
 
 
-def snapshot(label: str = "") -> None:
+def snapshot(label: str = "", *, drop_timings: bool = False) -> None:
     """Record a metrics time-series point; no-op when not installed."""
     session = _active
     if session is not None:
-        session.snapshot(label)
+        session.snapshot(label, drop_timings=drop_timings)
 
 
 __all__ = [

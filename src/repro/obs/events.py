@@ -65,6 +65,23 @@ EVENT_TYPES: Dict[str, tuple] = {
     "lint_finding": ("rule", "function", "detail"),
     # End-of-lint rollup: total findings and functions checked.
     "lint_summary": ("findings", "functions_checked", "rules"),
+    # A cross-build PerfData merge was refused (identity mismatch).
+    "merge_rejected": ("site", "ours", "theirs"),
+    # One collection-task lifecycle transition in the fleet scheduler
+    # (scheduled/dispatched/completed/retried/orphaned/recovered/
+    # cancelled/exhausted/failed).
+    "fleet_task": ("action", "task", "service", "attempt"),
+    # One supervised-worker lifecycle transition (spawned/crashed/hung/
+    # cancelled/respawned).
+    "fleet_worker": ("worker", "event"),
+    # One service released a new binary revision (rolling deploy).
+    "fleet_release": ("service", "revision", "binary"),
+    # The profile variant a service is currently served with changed
+    # (fresh csspgo, degraded autofdo, or none), and why.
+    "fleet_assignment": ("service", "variant", "reason"),
+    # Periodic fleet rollup: scheduler/worker/generation totals plus the
+    # fraction of services on a fresh context profile.
+    "fleet_status": ("tick", "totals", "freshness"),
 }
 
 
@@ -132,8 +149,21 @@ class EventLog:
     def now(self) -> float:
         return self._clock()
 
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        """Swap the timestamp source (e.g. a fleet simulation's tick clock,
+        so a file-backed log becomes byte-reproducible across runs)."""
+        self._clock = clock
+
     def emit(self, etype: str, **fields: Any) -> Event:
-        """Validate, stamp, store and (when file-backed) append one event."""
+        """Validate, stamp, store and (when file-backed) append one event.
+
+        The file write is crash-safe: the whole record is serialized first
+        and lands as a **single** ``write`` of one complete line, followed
+        by a flush — a producer killed mid-emit can tear at most the final
+        line, never interleave two, and everything before the tear is
+        already on disk (:func:`read_event_log` skips-and-counts a torn
+        tail instead of raising).
+        """
         required = EVENT_TYPES.get(etype)
         if required is None:
             raise ValueError(
@@ -147,9 +177,10 @@ class EventLog:
         self._seq += 1
         self.events.append(event)
         if self._sink is not None:
-            json.dump(event.to_dict(), self._sink,
-                      separators=(",", ":"), sort_keys=True)
-            self._sink.write("\n")
+            line = json.dumps(event.to_dict(), separators=(",", ":"),
+                              sort_keys=True)
+            self._sink.write(line + "\n")
+            self._sink.flush()
         return event
 
     def of_type(self, etype: str) -> List[Event]:
@@ -181,24 +212,30 @@ def read_event_log(path: str, strict: bool = False
     Permissive by default — a half-written trailing line from a crashed
     producer, or an event type from a newer schema, is counted and skipped
     rather than poisoning the whole report.  ``strict=True`` raises on the
-    first bad line (the round-trip contract tests use this).
+    first bad line (the round-trip contract tests use this) — except for a
+    **torn final line** (the file does not end in a newline): that is the
+    expected signature of a killed worker, not a schema violation, so it is
+    skipped-and-counted in both modes and ``repro report`` keeps working.
     """
     events: List[Event] = []
     malformed = 0
     with open(path) as handle:
-        for lineno, line in enumerate(handle, 1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-                if not isinstance(record, dict):
-                    raise ValueError("event line is not a JSON object")
-                events.append(Event.from_dict(record))
-            except (ValueError, KeyError, TypeError) as exc:
-                if strict:
-                    raise ValueError(f"line {lineno}: {exc}") from exc
-                malformed += 1
+        content = handle.read()
+    torn_tail = bool(content) and not content.endswith("\n")
+    lines = content.splitlines()
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            if not isinstance(record, dict):
+                raise ValueError("event line is not a JSON object")
+            events.append(Event.from_dict(record))
+        except (ValueError, KeyError, TypeError) as exc:
+            if strict and not (torn_tail and lineno == len(lines)):
+                raise ValueError(f"line {lineno}: {exc}") from exc
+            malformed += 1
     return events, malformed
 
 

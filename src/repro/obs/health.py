@@ -34,6 +34,17 @@ Indicators are computed from the event stream by
     total flow-consistency violations reported by ``repro lint`` runs
     (``lint_summary`` events); a clean lint contributes 0, no lint run at
     all skips the rule.
+``profile_freshness``
+    mean fraction of fleet services running on a *fresh* context profile
+    (binary identity matches, age within the freshness window), averaged
+    over every ``fleet_status`` rollup of the run.
+``task_retry_rate``
+    fleet collection-task retries per completed task, from the final
+    ``fleet_status`` totals.
+``orphan_loss``
+    orphaned fleet tasks that were neither re-queued by crash recovery nor
+    explicitly retired as retry-budget-exhausted — any nonzero value means
+    a task vanished, the failure mode the supervisor exists to prevent.
 
 An indicator with no data evaluates to ``skip`` — a rule can only pass on
 evidence, never on absence of it, and a skipped rule never fails a build.
@@ -132,6 +143,13 @@ def default_rules() -> List[SLORule]:
                 "worst slowdown vs checked-in benchmark baseline"),
         SLORule("lint-clean", "lint_findings", "<=", 0.0, 0.0,
                 "flow-consistency violations found by the profile linter"),
+        # Fleet-service rules (DESIGN.md sec. 15) — skip on non-fleet logs.
+        SLORule("profile-freshness", "profile_freshness", ">=", 0.70, 0.40,
+                "mean fraction of services on a fresh context profile"),
+        SLORule("task-retry-rate", "task_retry_rate", "<=", 0.50, 2.0,
+                "collection-task retries per completed task"),
+        SLORule("orphan-loss", "orphan_loss", "<=", 0.0, 0.0,
+                "orphaned tasks neither re-queued nor retired"),
     ]
 
 
@@ -212,6 +230,26 @@ def compute_indicators(events: List[Event]) -> Dict[str, Optional[float]]:
     indicators["lint_findings"] = (
         sum(float(e.get("findings", 0)) for e in lint_runs)
         if lint_runs else None)
+
+    # Fleet-service indicators, from the periodic fleet_status rollups.
+    statuses = [e for e in events if e.type == "fleet_status"]
+    freshness = [float(e.get("freshness")) for e in statuses
+                 if e.get("freshness") is not None]
+    indicators["profile_freshness"] = (
+        sum(freshness) / len(freshness) if freshness else None)
+    if statuses:
+        totals = dict(statuses[-1].get("totals") or {})
+        completed = float(totals.get("tasks_completed", 0))
+        indicators["task_retry_rate"] = (
+            float(totals.get("tasks_retried", 0)) / completed
+            if completed else None)
+        indicators["orphan_loss"] = (
+            float(totals.get("tasks_orphaned", 0))
+            - float(totals.get("orphans_requeued", 0))
+            - float(totals.get("orphans_exhausted", 0)))
+    else:
+        indicators["task_retry_rate"] = None
+        indicators["orphan_loss"] = None
     return indicators
 
 

@@ -550,7 +550,7 @@ def _collect_independent(profiling: BuildArtifacts,
     merged = PerfData(base.period, base.lbr_depth, base.pebs)
     samples_per_iteration: List[int] = []
     for data, measurement in outcomes:
-        merged.extend(data)
+        merged.extend(data, site="driver.independent_profiling")
         merged.instructions_retired += data.instructions_retired
         result.profiling_runs.append(measurement)
         samples_per_iteration.append(len(data))

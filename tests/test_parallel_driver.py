@@ -128,3 +128,63 @@ class TestCLIJobs:
                        "--variants", "csspgo", "--independent-profiling"])
         assert rc == 0
         assert "csspgo" in capsys.readouterr().out
+
+
+class TestFallbackChainUnderConcurrency:
+    """The degradation chain must survive the process-pool round trip:
+    extras, manifests, and the parent-merged fallback_taken events."""
+
+    def test_stale_profile_degrades_in_worker_and_merges_back(self):
+        from repro import obs, telemetry
+        from repro.faults import FaultSpec
+
+        module = _module()
+        config = _config(
+            fault_spec=FaultSpec.parse("stale_checksum:1@seed=5"))
+        session = telemetry.enable()
+        parent_obs = obs.install(obs.Observability())
+        try:
+            results = compare_variants(
+                module, [40], [40],
+                variants=[PGOVariant.AUTOFDO, PGOVariant.CSSPGO_FULL],
+                config=config, jobs=2)
+        finally:
+            telemetry.disable()
+            obs.uninstall()
+        csspgo = results[PGOVariant.CSSPGO_FULL]
+        # Every checksum staled: the context profile annotates nothing and
+        # the chain must have taken at least the csspgo->autofdo hop.
+        chain = csspgo.extras["fallback_chain"]
+        reasons = csspgo.extras["fallback_reasons"]
+        assert chain and chain[0].startswith("csspgo->")
+        assert len(reasons) == len(chain)
+        assert all(reasons)
+        # Provenance rode along: manifests crossed the pickle boundary and
+        # the newest one carries the degradation hops.
+        manifests = csspgo.extras["manifests"]
+        assert manifests
+        hops = manifests[-1]["fallbacks"]
+        assert [f"{h['from']}->{h['to']}" for h in hops] == chain
+        # Worker events were re-emitted into the parent session.
+        fallback_events = parent_obs.log.of_type("fallback_taken")
+        assert any(e.fields["from_variant"] == "csspgo"
+                   for e in fallback_events)
+        # The run still produced a working binary (degraded, not broken).
+        assert csspgo.eval.cycles > 0
+
+    def test_chain_identical_serial_vs_parallel(self):
+        from repro.faults import FaultSpec
+
+        module = _module()
+        config = _config(
+            fault_spec=FaultSpec.parse("stale_checksum:1@seed=5"))
+        variants = [PGOVariant.AUTOFDO, PGOVariant.CSSPGO_FULL]
+        serial = compare_variants(module, [40], [40], variants=variants,
+                                  config=config, jobs=1)
+        parallel = compare_variants(module, [40], [40], variants=variants,
+                                    config=config, jobs=2)
+        for variant in variants:
+            assert serial[variant].extras.get("fallback_chain") == \
+                parallel[variant].extras.get("fallback_chain"), variant
+            assert serial[variant].extras.get("fallback_reasons") == \
+                parallel[variant].extras.get("fallback_reasons"), variant
